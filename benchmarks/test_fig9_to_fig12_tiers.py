@@ -1,0 +1,81 @@
+"""Figures 9-12: the Tiers-generated experimental platform (Section 4.7).
+
+- Figure 9: 14-node Tiers topology, 8 compute hosts (speeds 15..92),
+  message size 10, task time 10/s_i, target node 6 (logical index 4).
+- Figure 10: the LP optimum — the paper reports **TP = 2/9**.
+- Figures 11-12: the solution decomposes into **two reduction trees of
+  throughput 1/9 each**.
+
+The link structure is recovered exactly from the figures' printed paths;
+bandwidth labels are assigned best-effort from the legible label set (see
+``repro.platform.examples``), so matching 2/9 *exactly* is a strong check
+that the reconstruction is faithful.
+"""
+
+from fractions import Fraction
+
+from repro.baselines.reduce_baselines import best_single_tree_throughput
+from repro.core.reduce_op import ReduceProblem, build_reduce_lp, solve_reduce
+from repro.core.schedule import build_reduce_schedule
+from repro.core.trees import extract_trees
+from repro.platform.examples import (
+    FIGURE9_SPEEDS, figure9_participants, figure9_platform, figure9_target,
+)
+from repro.sim.executor import simulate_reduce
+
+
+def _problem():
+    return ReduceProblem(figure9_platform(), participants=figure9_participants(),
+                         target=figure9_target(), msg_size=10, task_work=10)
+
+
+def test_fig9_platform_reconstruction(benchmark, report):
+    g = benchmark(figure9_platform)
+    report.row("Fig 9: nodes (routers + hosts)", "14 (6 + 8)",
+               f"{len(g)} ({len(g.routers())} + {len(g.compute_nodes())})")
+    report.row("Fig 9: bidirectional links", 17, g.num_edges() // 2)
+    report.row("Fig 9: host speeds", sorted(FIGURE9_SPEEDS.values()),
+               sorted(g.speed(h) for h in g.compute_nodes()))
+    assert len(g) == 14 and g.num_edges() == 34
+
+
+def test_fig10_lp_throughput(benchmark, report):
+    problem = _problem()
+    lp = build_reduce_lp(problem)
+    sol = benchmark(lambda: solve_reduce(problem))
+    report.row("Fig 10: LP size (vars, constraints)", "(not reported)",
+               f"({lp.num_vars()}, {lp.num_constraints()})")
+    report.row("Fig 10: steady-state reduce throughput TP", "2/9",
+               sol.throughput,
+               "exact match despite best-effort bandwidth assignment")
+    assert sol.throughput == Fraction(2, 9)
+    assert sol.verify(tol=0 if sol.exact else 1e-7) == []
+
+
+def test_fig11_12_two_trees(benchmark, report):
+    sol = solve_reduce(_problem())
+    trees = benchmark(lambda: extract_trees(sol))
+    report.row("Fig 11/12: number of reduction trees", 2, len(trees))
+    report.row("Fig 11/12: per-tree throughput", "1/9 each",
+               [str(Fraction(t.weight)) for t in trees])
+    single, _ = best_single_tree_throughput(trees, sol.problem)
+    report.row("Fig 11/12: best single tree alone", "< 2/9",
+               single, "mixing the two trees is strictly necessary")
+    assert len(trees) == 2
+    assert all(Fraction(t.weight) == Fraction(1, 9) for t in trees)
+    assert single < Fraction(2, 9)
+
+
+def test_fig9_schedule_simulation(benchmark, report):
+    problem = _problem()
+    sol = solve_reduce(problem)
+    sched = build_reduce_schedule(sol)
+    res = benchmark(lambda: simulate_reduce(sched, problem, n_periods=120,
+                                            record_trace=False))
+    bound = float(sol.throughput) * float(res.horizon)
+    report.row("Fig 9-12: simulated ops / TP*K over 120 periods",
+               "-> 1 as K grows", round(res.completed_ops() / bound, 3))
+    report.row("Fig 9-12: correctness / one-port violations", "0",
+               len(res.errors) + len(res.one_port_violations))
+    assert res.errors == []
+    assert res.completed_ops() >= 0.7 * bound

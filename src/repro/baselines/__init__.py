@@ -1,0 +1,42 @@
+"""Baseline collective algorithms for comparison.
+
+The paper's thesis is that steady-state LP scheduling beats the classical
+makespan-oriented, single-route / single-tree approaches when operations are
+pipelined.  These baselines make that comparison concrete:
+
+Scatter
+    - :func:`~repro.baselines.scatter_baselines.direct_scatter` — the source
+      sends every message itself along shortest paths (store-and-forward),
+    - :func:`~repro.baselines.scatter_baselines.spt_scatter_throughput` —
+      the LP restricted to a single shortest-path tree (single-route
+      ablation).
+
+Reduce
+    - :func:`~repro.baselines.reduce_baselines.flat_tree_reduce` — everyone
+      ships its value to the target, which merges alone,
+    - :func:`~repro.baselines.reduce_baselines.binary_tree_reduce` — an
+      order-preserving balanced binary merge tree,
+    - :func:`~repro.baselines.reduce_baselines.best_single_tree_throughput`
+      — the best *one* reduction tree extracted from the LP solution,
+      pipelined alone (multi-tree ablation).
+"""
+
+from repro.baselines.scatter_baselines import (
+    direct_scatter,
+    spt_scatter_throughput,
+)
+from repro.baselines.reduce_baselines import (
+    best_single_tree_throughput,
+    binary_tree_reduce,
+    flat_tree_reduce,
+    single_tree_resource_load,
+)
+
+__all__ = [
+    "direct_scatter",
+    "spt_scatter_throughput",
+    "best_single_tree_throughput",
+    "binary_tree_reduce",
+    "flat_tree_reduce",
+    "single_tree_resource_load",
+]

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Examples::
+
+    repro scatter --platform plat.json --source Ps --targets P0,P1
+    repro reduce  --platform plat.json --participants 1,2,3 --target 1
+    repro demo fig2          # the paper's Figure 2 instance end-to-end
+    repro demo fig6
+    repro demo fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.gossip import GossipProblem, build_gossip_schedule, solve_gossip
+from repro.core.reduce_op import ReduceProblem, solve_reduce
+from repro.core.scatter import ScatterProblem, solve_scatter, build_scatter_schedule
+from repro.core.schedule import build_reduce_schedule
+from repro.platform.io import load_platform
+from repro.sim.executor import simulate_gossip, simulate_reduce, simulate_scatter
+from repro.viz.gantt import ascii_gantt
+from repro.viz.tables import format_table
+
+
+def _parse_node(token: str):
+    """Node ids in files may be ints or strings; try int first."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _cmd_scatter(args) -> int:
+    g = load_platform(args.platform)
+    targets = [_parse_node(t) for t in args.targets.split(",")]
+    problem = ScatterProblem(g, _parse_node(args.source), targets)
+    sol = solve_scatter(problem, backend=args.backend)
+    print(f"platform {g.name}: TP = {sol.throughput}")
+    rows = [(f"{i} -> {j}", f"m[{k}]", v) for (i, j, k), v in
+            sorted(sol.send.items(), key=str)]
+    print(format_table(["edge", "type", "rate"], rows, title="send rates"))
+    if sol.exact and args.schedule:
+        sched = build_scatter_schedule(sol)
+        print(ascii_gantt(sched))
+        if args.simulate:
+            res = simulate_scatter(sched, problem, n_periods=args.periods)
+            print(f"simulated {res.completed_ops()} ops over {res.horizon} "
+                  f"time-units (bound {float(sol.throughput) * float(res.horizon):.1f}); "
+                  f"correct={res.correct}")
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    g = load_platform(args.platform)
+    participants = [_parse_node(t) for t in args.participants.split(",")]
+    problem = ReduceProblem(g, participants, _parse_node(args.target),
+                            msg_size=args.msg_size, task_work=args.task_work)
+    sol = solve_reduce(problem, backend=args.backend)
+    print(f"platform {g.name}: TP = {sol.throughput}")
+    trees = sol.extract()
+    print(f"{len(trees)} reduction tree(s):")
+    for t in trees:
+        print(t.describe())
+    if sol.exact and args.schedule:
+        sched = build_reduce_schedule(sol)
+        print(ascii_gantt(sched))
+        if args.simulate:
+            res = simulate_reduce(sched, problem, n_periods=args.periods)
+            print(f"simulated {res.completed_ops()} ops over {res.horizon} "
+                  f"time-units (bound {float(sol.throughput) * float(res.horizon):.1f}); "
+                  f"correct={res.correct}")
+    return 0
+
+
+def _cmd_gossip(args) -> int:
+    g = load_platform(args.platform)
+    sources = [_parse_node(t) for t in args.sources.split(",")]
+    targets = [_parse_node(t) for t in args.targets.split(",")]
+    problem = GossipProblem(g, sources, targets)
+    sol = solve_gossip(problem, backend=args.backend)
+    print(f"platform {g.name}: TP = {sol.throughput} "
+          f"({len(problem.pairs())} message types)")
+    rows = [(f"{i} -> {j}", f"m({k},{l})", v) for (i, j, k, l), v in
+            sorted(sol.send.items(), key=str)]
+    print(format_table(["edge", "type", "rate"], rows, title="send rates"))
+    if sol.exact and args.schedule:
+        sched = build_gossip_schedule(sol)
+        print(ascii_gantt(sched))
+        if args.simulate:
+            res = simulate_gossip(sched, problem, n_periods=args.periods)
+            print(f"simulated {res.completed_ops()} ops over {res.horizon} "
+                  f"time-units; correct={res.correct}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.platform.examples import (figure2_platform, figure2_targets,
+                                         figure6_platform, figure9_platform,
+                                         figure9_participants, figure9_target)
+    if args.which == "fig2":
+        problem = ScatterProblem(figure2_platform(), "Ps", figure2_targets())
+        sol = solve_scatter(problem, backend="exact")
+        print(f"Figure 2 — Series of Scatters: TP = {sol.throughput} "
+              f"(paper: 1/2)")
+        sched = build_scatter_schedule(sol)
+        print(ascii_gantt(sched))
+    elif args.which == "fig6":
+        problem = ReduceProblem(figure6_platform(), [0, 1, 2], target=0)
+        sol = solve_reduce(problem, backend="exact")
+        print(f"Figure 6 — Series of Reduces: TP = {sol.throughput} (paper: 1)")
+        for t in sol.extract():
+            print(t.describe())
+        print(ascii_gantt(build_reduce_schedule(sol)))
+    elif args.which == "fig9":
+        problem = ReduceProblem(figure9_platform(), figure9_participants(),
+                                target=figure9_target(), msg_size=10,
+                                task_work=10)
+        sol = solve_reduce(problem)
+        print(f"Figure 9/10 — Tiers platform reduce: TP = {sol.throughput} "
+              f"(paper: 2/9)")
+        for t in sol.extract():
+            print(t.describe())
+    else:
+        print(f"unknown demo {args.which!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Steady-state scatter/reduce scheduling on heterogeneous "
+                    "platforms (Legrand-Marchal-Robert, RR-4872).")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sc = sub.add_parser("scatter", help="solve a Series of Scatters instance")
+    sc.add_argument("--platform", required=True, help="platform JSON file")
+    sc.add_argument("--source", required=True)
+    sc.add_argument("--targets", required=True, help="comma-separated node ids")
+    sc.add_argument("--backend", default="auto",
+                    choices=["auto", "exact", "highs"])
+    sc.add_argument("--schedule", action="store_true",
+                    help="build and display the periodic schedule")
+    sc.add_argument("--simulate", action="store_true")
+    sc.add_argument("--periods", type=int, default=50)
+    sc.set_defaults(func=_cmd_scatter)
+
+    rd = sub.add_parser("reduce", help="solve a Series of Reduces instance")
+    rd.add_argument("--platform", required=True)
+    rd.add_argument("--participants", required=True,
+                    help="comma-separated node ids in logical (⊕) order")
+    rd.add_argument("--target", required=True)
+    rd.add_argument("--msg-size", type=int, default=1, dest="msg_size")
+    rd.add_argument("--task-work", type=int, default=1, dest="task_work")
+    rd.add_argument("--backend", default="auto",
+                    choices=["auto", "exact", "highs"])
+    rd.add_argument("--schedule", action="store_true")
+    rd.add_argument("--simulate", action="store_true")
+    rd.add_argument("--periods", type=int, default=50)
+    rd.set_defaults(func=_cmd_reduce)
+
+    go = sub.add_parser("gossip", help="solve a Series of Gossips instance")
+    go.add_argument("--platform", required=True)
+    go.add_argument("--sources", required=True, help="comma-separated node ids")
+    go.add_argument("--targets", required=True, help="comma-separated node ids")
+    go.add_argument("--backend", default="auto",
+                    choices=["auto", "exact", "highs"])
+    go.add_argument("--schedule", action="store_true")
+    go.add_argument("--simulate", action="store_true")
+    go.add_argument("--periods", type=int, default=50)
+    go.set_defaults(func=_cmd_gossip)
+
+    dm = sub.add_parser("demo", help="run a paper-figure demo")
+    dm.add_argument("which", choices=["fig2", "fig6", "fig9"])
+    dm.set_defaults(func=_cmd_demo)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

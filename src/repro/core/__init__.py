@@ -1,0 +1,62 @@
+"""The paper's primary contribution: steady-state collective scheduling.
+
+Pipelines, one per collective:
+
+- **Series of Scatters** (Section 3): :func:`repro.core.scatter.solve_scatter`
+  builds and solves ``SSSP(G)``, :func:`repro.core.scatter.build_scatter_schedule`
+  turns the rational optimum into a periodic one-port schedule via bipartite
+  matching decomposition.
+- **Series of Gossips** (Section 3.5): :mod:`repro.core.gossip` — the
+  personalized all-to-all generalization ``SSPA2A(G)``.
+- **Series of Reduces** (Section 4): :mod:`repro.core.reduce_op` builds
+  ``SSR(G)``; :mod:`repro.core.trees` extracts weighted reduction trees
+  (Section 4.4); :mod:`repro.core.schedule` assembles the periodic schedule;
+  :mod:`repro.core.fixed_period` implements the Section 4.6 approximation.
+- **Parallel prefix** (Section 6 outlook): :mod:`repro.core.prefix`.
+"""
+
+from repro.core.scatter import (
+    ScatterProblem,
+    ScatterSolution,
+    build_scatter_lp,
+    build_scatter_schedule,
+    solve_scatter,
+)
+from repro.core.gossip import (
+    GossipProblem,
+    GossipSolution,
+    build_gossip_lp,
+    build_gossip_schedule,
+    solve_gossip,
+)
+from repro.core.reduce_op import (
+    ReduceProblem,
+    ReduceSolution,
+    build_reduce_lp,
+    solve_reduce,
+)
+from repro.core.trees import ReductionTree, extract_trees
+from repro.core.schedule import PeriodicSchedule, build_reduce_schedule
+from repro.core.fixed_period import fixed_period_approximation
+
+__all__ = [
+    "ScatterProblem",
+    "ScatterSolution",
+    "build_scatter_lp",
+    "build_scatter_schedule",
+    "solve_scatter",
+    "GossipProblem",
+    "GossipSolution",
+    "build_gossip_lp",
+    "build_gossip_schedule",
+    "solve_gossip",
+    "ReduceProblem",
+    "ReduceSolution",
+    "build_reduce_lp",
+    "solve_reduce",
+    "ReductionTree",
+    "extract_trees",
+    "PeriodicSchedule",
+    "build_reduce_schedule",
+    "fixed_period_approximation",
+]

@@ -1,0 +1,131 @@
+"""Fixed-period approximation (Section 4.6).
+
+The lcm-of-denominators period can be impractically large (it is not even
+polynomially bounded in the input size).  The paper's remedy: pick any
+period ``T_fixed`` and ship, for each extracted reduction tree ``T``,
+
+    ``r(T) = floor( w(T) * T_fixed )``            (weights here are rates)
+
+tree instances per period.  One-port feasibility is inherited (rounding only
+ever decreases loads) and the throughput loss is bounded by
+
+    ``TP - sum r(T)/T_fixed  <=  card(Trees) / T_fixed``
+
+so the approximation converges to the optimum as ``T_fixed`` grows
+(Proposition 4).  The same rounding applies to scatter/gossip path flows.
+
+This module is also the bridge from *float* LP solutions to *exact*
+schedules: rounded rates are exact rationals ``r / T_fixed`` by
+construction, so the downstream matching machinery runs exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.trees import ReductionTree, trees_weight_sum
+
+
+@dataclass
+class FixedPeriodResult:
+    """Rounded trees/paths plus the Proposition 4 bookkeeping."""
+
+    period: int
+    items: list                 # rounded trees (or (target, path, weight) rows)
+    throughput: Fraction        # achieved: sum of rounded rates
+    original_throughput: object # the LP optimum TP
+    bound: Fraction             # card(items before rounding) / period
+
+    @property
+    def loss(self):
+        return self.original_throughput - self.throughput
+
+    def loss_within_bound(self) -> bool:
+        return self.loss <= self.bound or math.isclose(
+            float(self.loss), float(self.bound), rel_tol=1e-9, abs_tol=1e-12)
+
+
+def fixed_period_approximation(trees: Sequence[ReductionTree],
+                               period: int,
+                               original_throughput=None) -> FixedPeriodResult:
+    """Round reduction-tree rates to multiples of ``1/period``.
+
+    Trees whose rounded count is zero are dropped (their contribution is the
+    throughput loss Proposition 4 bounds).
+    """
+    if period < 1:
+        raise ValueError("period must be a positive integer")
+    if original_throughput is None:
+        original_throughput = trees_weight_sum(list(trees))
+    rounded: List[ReductionTree] = []
+    total = Fraction(0)
+    for tree in trees:
+        r = math.floor(Fraction(tree.weight) * period) if isinstance(tree.weight, (int, Fraction)) \
+            else math.floor(tree.weight * period)
+        if r <= 0:
+            continue
+        w = Fraction(r, period)
+        total += w
+        rounded.append(ReductionTree(weight=w, transfers=tree.transfers,
+                                     tasks=tree.tasks))
+    return FixedPeriodResult(period=period, items=rounded, throughput=total,
+                             original_throughput=original_throughput,
+                             bound=Fraction(len(list(trees)), period))
+
+
+def fixed_period_paths(paths_by_type: Dict[object, List[Tuple[list, object]]],
+                       period: int,
+                       original_throughput=None) -> FixedPeriodResult:
+    """Scatter/gossip variant: round each commodity's *path* flows.
+
+    Rounding per path (not per edge) keeps every conservation law intact.
+    The common throughput of the rounded solution is the minimum over
+    commodities; surplus paths of faster commodities are trimmed so every
+    destination receives exactly the same number of messages per period —
+    a scatter operation only completes once *all* targets are served.
+    """
+    if period < 1:
+        raise ValueError("period must be a positive integer")
+    rounded: Dict[object, List[Tuple[list, Fraction]]] = {}
+    per_type_total: Dict[object, Fraction] = {}
+    n_paths = 0
+    for key, paths in paths_by_type.items():
+        n_paths += len(paths)
+        out: List[Tuple[list, Fraction]] = []
+        total = Fraction(0)
+        for path, w in paths:
+            r = math.floor(Fraction(w) * period) if isinstance(w, (int, Fraction)) \
+                else math.floor(w * period)
+            if r <= 0:
+                continue
+            out.append((path, Fraction(r, period)))
+            total += Fraction(r, period)
+        rounded[key] = out
+        per_type_total[key] = total
+    common = min(per_type_total.values()) if per_type_total else Fraction(0)
+    # trim surplus so every commodity ships exactly `common`
+    for key, paths in rounded.items():
+        surplus = per_type_total[key] - common
+        trimmed: List[Tuple[list, Fraction]] = []
+        for path, w in sorted(paths, key=lambda pw: pw[1]):
+            if surplus > 0:
+                cut = min(w, surplus)
+                # keep rates multiples of 1/period
+                cut = Fraction(math.ceil(cut * period), period)
+                cut = min(cut, w)
+                w = w - cut
+                surplus -= cut
+            if w > 0:
+                trimmed.append((path, w))
+        rounded[key] = trimmed
+    if original_throughput is None:
+        original_throughput = common
+    return FixedPeriodResult(period=period,
+                             items=[(k, p, w) for k, ps in rounded.items()
+                                    for (p, w) in ps],
+                             throughput=common,
+                             original_throughput=original_throughput,
+                             bound=Fraction(n_paths, period))

@@ -1,0 +1,171 @@
+"""Flow cleaning: cycle removal and path decomposition.
+
+An optimal vertex of the steady-state LPs may carry *useless circulation*:
+per-message-type flow cycles, or flow that leaves a destination again.  Such
+circulation satisfies every constraint but wastes port capacity and — worse —
+would make the naive ``FIND_TREE`` walk of Section 4.4 loop forever.  This
+module provides:
+
+- :func:`remove_cycles` — cancel directed cycles in a single-commodity flow,
+- :func:`decompose_paths` — full flow decomposition of a source→sink
+  commodity into weighted simple paths (dropping cycles and junk),
+- :func:`clean_commodity` — the composition used by the scatter/gossip
+  pipelines.
+
+All functions accept exact (Fraction/int) or float flows; for floats an
+``eps`` threshold treats tiny values as zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+NodeId = Hashable
+EdgeFlow = Dict[Tuple[NodeId, NodeId], object]
+
+
+def _support(flow: EdgeFlow, eps) -> Dict[NodeId, Dict[NodeId, object]]:
+    adj: Dict[NodeId, Dict[NodeId, object]] = {}
+    for (u, v), f in flow.items():
+        if f > eps:
+            adj.setdefault(u, {})[v] = f
+    return adj
+
+
+def _find_cycle(adj: Dict[NodeId, Dict[NodeId, object]]) -> Optional[List[NodeId]]:
+    """A directed cycle in the support, as a node list (first == last)."""
+    color: Dict[NodeId, int] = {}
+    parent: Dict[NodeId, NodeId] = {}
+
+    for start in list(adj):
+        if color.get(start):
+            continue
+        stack: List[Tuple[NodeId, Optional[object]]] = [(start, None)]
+        while stack:
+            node, it = stack[-1]
+            if it is None:
+                color[node] = 1
+                it = iter(list(adj.get(node, {})))
+                stack[-1] = (node, it)
+            advanced = False
+            for nxt in it:
+                if color.get(nxt, 0) == 1:
+                    # found a back edge node -> nxt; reconstruct cycle
+                    cycle = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    cycle.append(cycle[0])
+                    return cycle
+                if color.get(nxt, 0) == 0:
+                    parent[nxt] = node
+                    stack.append((nxt, None))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+    return None
+
+
+def remove_cycles(flow: EdgeFlow, eps=0) -> EdgeFlow:
+    """Cancel every directed cycle: returns an acyclic flow with the same
+    divergence (out minus in) at every node.
+    """
+    out = {e: f for e, f in flow.items() if f > eps}
+    while True:
+        adj = _support(out, eps)
+        cycle = _find_cycle(adj)
+        if cycle is None:
+            return out
+        edges = list(zip(cycle, cycle[1:]))
+        theta = min(out[e] for e in edges)
+        for e in edges:
+            out[e] = out[e] - theta
+            if out[e] <= eps:
+                del out[e]
+
+
+def decompose_paths(flow: EdgeFlow, source: NodeId, sink: NodeId,
+                    demand=None, eps=0) -> List[Tuple[List[NodeId], object]]:
+    """Decompose a commodity into weighted simple paths ``source -> sink``.
+
+    Repeatedly finds a path in the flow support and peels off its bottleneck.
+    Stops when ``demand`` worth of path flow has been extracted (or no path
+    remains).  Cycles and flow not on a source→sink path are ignored — that
+    is exactly the junk we want dropped.
+    """
+    residual = {e: f for e, f in flow.items() if f > eps}
+    paths: List[Tuple[List[NodeId], object]] = []
+    extracted = 0
+    while demand is None or extracted < demand:
+        adj = _support(residual, eps)
+        # BFS for a source -> sink path (BFS keeps paths short/simple)
+        parent: Dict[NodeId, NodeId] = {source: source}
+        queue = [source]
+        while queue and sink not in parent:
+            u = queue.pop(0)
+            for v in adj.get(u, {}):
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        if sink not in parent:
+            break
+        path = [sink]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        edges = list(zip(path, path[1:]))
+        theta = min(residual[e] for e in edges)
+        if demand is not None:
+            remaining = demand - extracted
+            if theta > remaining:
+                theta = remaining
+        for e in edges:
+            residual[e] = residual[e] - theta
+            if residual[e] <= eps:
+                del residual[e]
+        paths.append((path, theta))
+        extracted = extracted + theta
+    return paths
+
+
+def paths_to_flow(paths: List[Tuple[List[NodeId], object]]) -> EdgeFlow:
+    """Superpose weighted paths back into an edge-flow map."""
+    flow: EdgeFlow = {}
+    for path, w in paths:
+        for e in zip(path, path[1:]):
+            flow[e] = flow.get(e, 0) + w
+    return flow
+
+
+def clean_commodity(flow: EdgeFlow, source: NodeId, sink: NodeId,
+                    demand, eps=0) -> Tuple[EdgeFlow, List[Tuple[List[NodeId], object]]]:
+    """Keep exactly ``demand`` worth of source→sink path flow; drop the rest.
+
+    Returns ``(cleaned flow, path decomposition)``.  Raises ``ValueError``
+    if the flow cannot deliver ``demand`` (which would mean the LP solution
+    is invalid — e.g. inflated by phantom circulation; the LP builders in
+    this package forbid destination re-emission precisely to prevent that,
+    so hitting the error indicates a bug or an over-loose float tolerance).
+    """
+    paths = decompose_paths(flow, source, sink, demand=demand, eps=eps)
+    total = sum(w for _, w in paths)
+    if demand is not None:
+        short = demand - total
+        if short > (eps if eps else 0):
+            raise ValueError(
+                f"flow delivers only {total} of demanded {demand} from "
+                f"{source!r} to {sink!r}")
+    return paths_to_flow(paths), paths
+
+
+def divergence(flow: EdgeFlow) -> Dict[NodeId, object]:
+    """Per-node divergence (outflow minus inflow) of a flow."""
+    div: Dict[NodeId, object] = {}
+    for (u, v), f in flow.items():
+        div[u] = div.get(u, 0) + f
+        div[v] = div.get(v, 0) - f
+    return div

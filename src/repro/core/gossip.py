@@ -1,0 +1,188 @@
+"""Series of Gossips — personalized all-to-all (Section 3.5).
+
+The ``SSPA2A(G)`` linear program: every source ``P_k`` streams a distinct
+message ``m_{k,l}`` to every target ``P_l``.  Constraints are the one-port
+bounds, per-type conservation, and a *common* throughput ``TP`` for every
+(source, target) pair — one gossip operation is complete when every pair has
+been served once.
+
+The same fidelity notes as :mod:`repro.core.scatter` apply, per type
+``(k, l)``: conservation is imposed at ``i not in {k, l}`` and the target
+``l`` never re-emits ``m_{k,l}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.flowclean import clean_commodity
+from repro.lp import LinearProgram, LPSolution, lin_sum, solve as lp_solve
+from repro.platform.graph import NodeId, PlatformGraph
+
+TypeKey = Tuple[NodeId, NodeId]  # (emitting source k, destination l)
+
+
+@dataclass(frozen=True)
+class GossipProblem:
+    """A Series-of-Gossips instance.
+
+    ``sources`` and ``targets`` may overlap (the usual all-to-all has them
+    equal); the pair ``(k, k)`` is skipped — a node keeps its own message.
+    """
+
+    platform: PlatformGraph
+    sources: Tuple[NodeId, ...]
+    targets: Tuple[NodeId, ...]
+
+    def __init__(self, platform: PlatformGraph, sources: Sequence[NodeId],
+                 targets: Sequence[NodeId]) -> None:
+        object.__setattr__(self, "platform", platform)
+        object.__setattr__(self, "sources", tuple(sources))
+        object.__setattr__(self, "targets", tuple(targets))
+        for n in list(self.sources) + list(self.targets):
+            if n not in platform:
+                raise ValueError(f"node {n!r} not in platform")
+        if len(set(self.sources)) != len(self.sources):
+            raise ValueError("duplicate source")
+        if len(set(self.targets)) != len(self.targets):
+            raise ValueError("duplicate target")
+        if not self.pairs():
+            raise ValueError("no (source, target) pair with source != target")
+
+    def pairs(self) -> List[TypeKey]:
+        return [(k, l) for k in self.sources for l in self.targets if k != l]
+
+
+def _gvar(i: NodeId, j: NodeId, k: NodeId, l: NodeId) -> str:
+    return f"send[{i}->{j},m({k},{l})]"
+
+
+def build_gossip_lp(problem: GossipProblem) -> LinearProgram:
+    """Construct ``SSPA2A(G)`` (not yet solved)."""
+    g = problem.platform
+    lp = LinearProgram(f"SSPA2A({g.name})")
+    tp = lp.var("TP")
+    pairs = problem.pairs()
+
+    gvars: Dict[Tuple[NodeId, NodeId, NodeId, NodeId], object] = {}
+    for e in g.edges():
+        for (k, l) in pairs:
+            if e.src == l:  # destination never re-emits its type
+                continue
+            gvars[(e.src, e.dst, k, l)] = lp.var(_gvar(e.src, e.dst, k, l))
+
+    def s_expr(i: NodeId, j: NodeId):
+        c = g.cost(i, j)
+        return lin_sum(gvars[(i, j, k, l)] * c for (k, l) in pairs
+                       if (i, j, k, l) in gvars)
+
+    for e in g.edges():
+        lp.add(s_expr(e.src, e.dst) <= 1, name=f"edge[{e.src}->{e.dst}]")
+    for p in g.nodes():
+        if g.successors(p):
+            lp.add(lin_sum(s_expr(p, q) for q in g.successors(p)) <= 1,
+                   name=f"out[{p}]")
+        if g.predecessors(p):
+            lp.add(lin_sum(s_expr(q, p) for q in g.predecessors(p)) <= 1,
+                   name=f"in[{p}]")
+    for p in g.nodes():
+        for (k, l) in pairs:
+            if p == k or p == l:
+                continue
+            inflow = lin_sum(gvars[(q, p, k, l)] for q in g.predecessors(p)
+                             if (q, p, k, l) in gvars)
+            outflow = lin_sum(gvars[(p, q, k, l)] for q in g.successors(p)
+                              if (p, q, k, l) in gvars)
+            lp.add(inflow == outflow, name=f"conserve[{p},m({k},{l})]")
+    for (k, l) in pairs:
+        inflow = lin_sum(gvars[(q, l, k, l)] for q in g.predecessors(l)
+                         if (q, l, k, l) in gvars)
+        lp.add(inflow == tp, name=f"throughput[m({k},{l})]")
+    lp.maximize(tp)
+    return lp
+
+
+@dataclass
+class GossipSolution:
+    """Solved ``SSPA2A(G)`` with cleaned per-pair flows."""
+
+    problem: GossipProblem
+    throughput: object
+    send: Dict[Tuple[NodeId, NodeId, NodeId, NodeId], object]
+    paths: Dict[TypeKey, List[Tuple[List[NodeId], object]]]
+    lp_solution: LPSolution
+    exact: bool
+
+    def edge_occupation(self) -> Dict[Tuple[NodeId, NodeId], object]:
+        g = self.problem.platform
+        s: Dict[Tuple[NodeId, NodeId], object] = {}
+        for (i, j, _k, _l), f in self.send.items():
+            s[(i, j)] = s.get((i, j), 0) + f * g.cost(i, j)
+        return s
+
+    def verify(self, tol=0) -> List[str]:
+        """Exact invariant re-check on the cleaned rates."""
+        bad: List[str] = []
+        occ = self.edge_occupation()
+        out_t: Dict[NodeId, object] = {}
+        in_t: Dict[NodeId, object] = {}
+        for (i, j), o in occ.items():
+            out_t[i] = out_t.get(i, 0) + o
+            in_t[j] = in_t.get(j, 0) + o
+        for p, o in list(out_t.items()) + list(in_t.items()):
+            if o > 1 + tol:
+                bad.append(f"port[{p}] {o} > 1")
+        for (k, l) in self.problem.pairs():
+            delivered = sum(f for (i, j, kk, ll), f in self.send.items()
+                            if j == l and (kk, ll) == (k, l))
+            if abs(delivered - self.throughput) > tol:
+                bad.append(f"throughput[m({k},{l})] {delivered} != {self.throughput}")
+        return bad
+
+
+def solve_gossip(problem: GossipProblem, backend: str = "auto",
+                 eps: float = 1e-9) -> GossipSolution:
+    """Solve ``SSPA2A(G)`` and clean each commodity's flow."""
+    lp = build_gossip_lp(problem)
+    sol = lp_solve(lp, backend=backend)
+    if not sol.optimal:
+        raise RuntimeError(f"LP solve failed: {sol.status}")
+    tp = sol.by_name("TP")
+    tol = 0 if sol.exact else eps
+
+    send: Dict[Tuple[NodeId, NodeId, NodeId, NodeId], object] = {}
+    paths: Dict[TypeKey, List[Tuple[List[NodeId], object]]] = {}
+    for (k, l) in problem.pairs():
+        flow = {}
+        for e in problem.platform.edges():
+            name = _gvar(e.src, e.dst, k, l)
+            try:
+                var = lp.get(name)
+            except KeyError:
+                continue
+            f = sol.value(var)
+            if f > tol:
+                flow[(e.src, e.dst)] = f
+        cleaned, pths = clean_commodity(flow, k, l, demand=tp, eps=tol)
+        paths[(k, l)] = pths
+        for (i, j), f in cleaned.items():
+            send[(i, j, k, l)] = f
+    return GossipSolution(problem=problem, throughput=tp, send=send,
+                          paths=paths, lp_solution=sol, exact=sol.exact)
+
+
+def build_gossip_schedule(solution: GossipSolution):
+    """Periodic one-port schedule for the gossip (same machinery as scatter)."""
+    from repro.core.schedule import schedule_from_rates
+
+    if not solution.exact:
+        raise ValueError("schedule construction needs exact rational rates")
+    g = solution.problem.platform
+    rates = {}
+    for (i, j, k, l), f in solution.send.items():
+        rates[(i, j, ("msg", k, l))] = (f, g.cost(i, j))
+    deliveries = {("msg", k, l): l for (k, l) in solution.problem.pairs()}
+    return schedule_from_rates(rates, throughput=solution.throughput,
+                               deliveries=deliveries,
+                               name=f"gossip({g.name})")

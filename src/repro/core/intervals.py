@@ -1,0 +1,109 @@
+"""Interval algebra for reduction scheduling (Section 4).
+
+A Series-of-Reduces instance combines values ``v_0 .. v_{n-1}`` with an
+associative, **non-commutative** operator.  Partial results are therefore
+always *contiguous intervals*: ``v[k,m] = v_k ⊕ ... ⊕ v_m``.  A computation
+task ``T_{k,l,m}`` (``k <= l < m``) merges ``v[k,l] ⊕ v[l+1,m] -> v[k,m]``.
+
+This module enumerates intervals/tasks and answers the incidence questions
+the conservation law (equation 10) asks:
+
+- which tasks *produce* ``v[k,m]``:   ``T_{k,l,m}`` for ``k <= l < m``,
+- which tasks consume it *as left input*:  ``T_{k,m,m'}`` for ``m' > m``,
+- which tasks consume it *as right input*: ``T_{k',k-1,m}`` for ``k' < k``.
+
+Counts: ``n(n+1)/2`` intervals and ``C(n+1, 3)`` tasks — the polynomial
+bounds behind Theorem 1's ``2n^4`` tree limit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+Interval = Tuple[int, int]       # (k, m) with 0 <= k <= m <= n-1
+Task = Tuple[int, int, int]      # (k, l, m) with 0 <= k <= l < m <= n-1
+
+
+def all_intervals(n: int) -> List[Interval]:
+    """Every contiguous interval over logical indices ``0 .. n-1``."""
+    if n < 1:
+        raise ValueError("need at least one value")
+    return [(k, m) for k in range(n) for m in range(k, n)]
+
+
+def all_tasks(n: int) -> List[Task]:
+    """Every merge task ``T_{k,l,m}`` over ``0 .. n-1``."""
+    return [(k, l, m)
+            for k in range(n)
+            for l in range(k, n)
+            for m in range(l + 1, n)]
+
+
+def is_leaf(interval: Interval) -> bool:
+    """True for a single initial value ``v[j,j]``."""
+    return interval[0] == interval[1]
+
+
+def full_interval(n: int) -> Interval:
+    """The complete reduction result ``v[0, n-1]``."""
+    return (0, n - 1)
+
+
+def task_output(task: Task) -> Interval:
+    k, _l, m = task
+    return (k, m)
+
+
+def task_inputs(task: Task) -> Tuple[Interval, Interval]:
+    """(left, right) input intervals of ``T_{k,l,m}``."""
+    k, l, m = task
+    return (k, l), (l + 1, m)
+
+
+def tasks_producing(interval: Interval) -> List[Task]:
+    """Tasks whose output is ``interval`` (empty for leaves)."""
+    k, m = interval
+    return [(k, l, m) for l in range(k, m)]
+
+
+def tasks_consuming_left(interval: Interval, n: int) -> List[Task]:
+    """Tasks using ``interval`` as their left input: ``T_{k,m,m'}``."""
+    k, m = interval
+    return [(k, m, mp) for mp in range(m + 1, n)]
+
+
+def tasks_consuming_right(interval: Interval) -> List[Task]:
+    """Tasks using ``interval`` as their right input: ``T_{k',k-1,m}``."""
+    k, m = interval
+    return [(kp, k - 1, m) for kp in range(0, k)]
+
+
+def tasks_consuming(interval: Interval, n: int) -> List[Task]:
+    return tasks_consuming_left(interval, n) + tasks_consuming_right(interval)
+
+
+def subdivides(outer: Interval, inner: Interval) -> bool:
+    """True when ``inner`` is contained in ``outer``."""
+    return outer[0] <= inner[0] and inner[1] <= outer[1]
+
+
+def interval_count(n: int) -> int:
+    return n * (n + 1) // 2
+
+
+def task_count(n: int) -> int:
+    return n * (n + 1) * (n - 1) // 6 if n >= 2 else 0
+
+
+def validate_tree_intervals(intervals: List[Interval], n: int) -> bool:
+    """Check that a multiset of leaf intervals exactly tiles ``[0, n-1]``.
+
+    Used by tests: the leaves of any reduction tree partition the full
+    interval, which is why every reduce consumes each initial value exactly
+    once (see the discussion around Theorem 1).
+    """
+    marks = [0] * n
+    for (k, m) in intervals:
+        for i in range(k, m + 1):
+            marks[i] += 1
+    return all(c == 1 for c in marks)

@@ -1,0 +1,65 @@
+"""Asymptotic-optimality bookkeeping (Sections 3.4 and 4.5).
+
+Lemma 1 gives the universal upper bound ``opt(G, K) <= TP(G) * K``: *no*
+schedule — periodic or not — can complete more operations in a horizon of
+``K`` time-units than the steady-state rate allows.  The steady-state
+algorithm completes at least ``r * T * TP`` with
+``r = floor((K - 2I - T) / T)`` periods, hence ``steady/opt -> 1``
+(Propositions 1-3).
+
+These helpers compute both sides so benchmarks can print the ratio curve;
+the *measured* side comes from the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def upper_bound_ops(throughput, horizon) -> float:
+    """Lemma 1: ``opt(G, K) <= TP * K``."""
+    return float(throughput) * float(horizon)
+
+
+def steady_state_lower_bound(throughput, period, init_latency, horizon) -> float:
+    """Operations guaranteed by the Section 3.4 construction.
+
+    ``init_latency`` is ``I``: the maximal source-to-node latency (graph
+    width) times the period — any upper bound works, the ratio still tends
+    to 1.
+    """
+    k, t, i = float(horizon), float(period), float(init_latency)
+    r = math.floor((k - 2 * i - t) / t)
+    if r < 0:
+        r = 0
+    return r * t * float(throughput)
+
+
+@dataclass
+class OptimalityPoint:
+    """One horizon sample of the steady/opt ratio."""
+
+    horizon: float
+    achieved_ops: float
+    upper_bound: float
+
+    @property
+    def ratio(self) -> float:
+        return self.achieved_ops / self.upper_bound if self.upper_bound else 0.0
+
+
+def ratio_curve(throughput, horizons: Sequence[float],
+                achieved: Sequence[float]) -> List[OptimalityPoint]:
+    """Pair measured operation counts with the Lemma 1 bound per horizon."""
+    if len(horizons) != len(achieved):
+        raise ValueError("horizons and achieved counts must align")
+    return [OptimalityPoint(horizon=k, achieved_ops=a,
+                            upper_bound=upper_bound_ops(throughput, k))
+            for k, a in zip(horizons, achieved)]
+
+
+def is_monotone_nondecreasing(values: Sequence[float], slack: float = 1e-9) -> bool:
+    """True when the ratio curve does not regress (up to float slack)."""
+    return all(b >= a - slack for a, b in zip(values, values[1:]))

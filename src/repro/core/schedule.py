@@ -1,0 +1,371 @@
+"""Periodic schedule construction (Sections 3.3 and 4.3).
+
+From exact rational steady-state rates we build a
+:class:`PeriodicSchedule`: a period ``T`` (the lcm of all rate denominators,
+so per-period message counts are integers) divided into *slots*.  Each slot
+is one matching of the bipartite communication graph: a set of transfers
+that run simultaneously without violating the one-port model, each busy for
+the whole slot duration.  Messages may split across slot boundaries
+(Figure 4a); :meth:`PeriodicSchedule.without_splits` rescales the period so
+every transfer moves an integer number of messages (Figure 4b).
+
+For reduce schedules the per-node computation load (``α(Pi) ≤ 1``) is packed
+sequentially inside the period; computations overlap communications freely
+(full-overlap assumption of Section 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.matching import Matching, decompose_matchings
+from repro.platform.graph import NodeId
+
+Item = Hashable  # message-type token, e.g. ("msg", k) or ("val", (k, m), tree)
+
+
+@dataclass
+class Transfer:
+    """``units`` messages of ``item`` from ``src`` to ``dst`` taking ``time``."""
+
+    src: NodeId
+    dst: NodeId
+    item: Item
+    units: object  # fractional message count within this slot
+    time: object   # occupation time within this slot (= units * unit_time)
+
+
+@dataclass
+class ComputeTask:
+    """``count`` executions per period of a task producing ``output`` from
+    ``inputs`` on ``node``, each taking ``unit_time``."""
+
+    node: NodeId
+    output: Item
+    inputs: Tuple[Item, ...]
+    count: object
+    unit_time: object
+
+
+@dataclass
+class Slot:
+    """One matching: simultaneous transfers for ``duration`` time-units."""
+
+    duration: object
+    transfers: List[Transfer] = field(default_factory=list)
+
+
+@dataclass
+class PeriodicSchedule:
+    """A steady-state periodic schedule.
+
+    Attributes
+    ----------
+    period:
+        ``T`` — slot durations sum to exactly ``T``.
+    throughput:
+        Operations initiated per time-unit (= ``ops_per_period / period``).
+    slots:
+        The ordered sequence of matchings.
+    per_period:
+        Integer number of messages of each item shipped per period
+        (summed over all edges).
+    compute:
+        Per-node compute tasks per period (empty for scatter/gossip).
+    deliveries:
+        ``item -> destination node`` for items whose arrival completes an
+        operation (used by the simulator to count throughput).
+    """
+
+    name: str
+    period: object
+    throughput: object
+    slots: List[Slot]
+    per_period: Dict[Item, int]
+    deliveries: Dict[Item, NodeId]
+    compute: Dict[NodeId, List[ComputeTask]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def ops_per_period(self) -> object:
+        return self.throughput * self.period
+
+    def busy_time(self, node: NodeId) -> Tuple[object, object]:
+        """(send-port, recv-port) busy time of ``node`` per period."""
+        snd = rcv = 0
+        for slot in self.slots:
+            for t in slot.transfers:
+                if t.src == node:
+                    snd = snd + slot.duration
+                if t.dst == node:
+                    rcv = rcv + slot.duration
+        return snd, rcv
+
+    def compute_time(self, node: NodeId) -> object:
+        return sum((ct.count * ct.unit_time for ct in self.compute.get(node, [])), 0)
+
+    def validate(self) -> List[str]:
+        """One-port / period invariants; empty list == valid."""
+        bad: List[str] = []
+        total = sum((s.duration for s in self.slots), 0)
+        if total > self.period:
+            bad.append(f"slot durations {total} exceed period {self.period}")
+        for slot in self.slots:
+            # a slot is a matching over (sender, receiver) pairs; several
+            # message types on the SAME pair serialize inside the slot
+            partner_of_src: Dict[object, object] = {}
+            partner_of_dst: Dict[object, object] = {}
+            pair_time: Dict[Tuple[object, object], object] = {}
+            for t in slot.transfers:
+                if partner_of_src.setdefault(t.src, t.dst) != t.dst:
+                    bad.append(f"{t.src!r} sends to two receivers in one slot")
+                if partner_of_dst.setdefault(t.dst, t.src) != t.src:
+                    bad.append(f"{t.dst!r} receives from two senders in one slot")
+                pair_time[(t.src, t.dst)] = pair_time.get((t.src, t.dst), 0) + t.time
+            for (i, j), tt in pair_time.items():
+                if tt > slot.duration:
+                    bad.append(f"pair ({i!r},{j!r}) time {tt} exceeds slot "
+                               f"{slot.duration}")
+        for node, tasks in self.compute.items():
+            ct = self.compute_time(node)
+            if ct > self.period:
+                bad.append(f"compute time {ct} at {node!r} exceeds period")
+        return bad
+
+    # ------------------------------------------------------------------
+    def without_splits(self) -> "PeriodicSchedule":
+        """Rescale so no message is split across slots (Figure 4b).
+
+        Multiplies the period by the lcm of the denominators of all per-slot
+        unit counts; every transfer then carries an integer message count.
+        """
+        den = 1
+        for slot in self.slots:
+            for t in slot.transfers:
+                den = _lcm(den, _denominator(t.units))
+        if den == 1:
+            return self
+        return self.scaled(den)
+
+    def scaled(self, factor: int) -> "PeriodicSchedule":
+        """Schedule with every duration/count multiplied by ``factor``."""
+        slots = [Slot(duration=s.duration * factor,
+                      transfers=[Transfer(t.src, t.dst, t.item,
+                                          t.units * factor, t.time * factor)
+                                 for t in s.transfers])
+                 for s in self.slots]
+        compute = {n: [ComputeTask(ct.node, ct.output, ct.inputs,
+                                   ct.count * factor, ct.unit_time)
+                       for ct in tasks]
+                   for n, tasks in self.compute.items()}
+        return PeriodicSchedule(
+            name=self.name, period=self.period * factor,
+            throughput=self.throughput, slots=slots,
+            per_period={k: v * factor for k, v in self.per_period.items()},
+            deliveries=dict(self.deliveries), compute=compute)
+
+
+def _denominator(x) -> int:
+    if isinstance(x, int):
+        return 1
+    if isinstance(x, Fraction):
+        return x.denominator
+    raise TypeError(f"need exact rational, got {type(x).__name__}")
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // math.gcd(a, b) * b
+
+
+def lcm_period(rates: Sequence[object]) -> int:
+    """Smallest integer ``T`` making every ``rate * T`` an integer."""
+    den = 1
+    for r in rates:
+        den = _lcm(den, _denominator(r))
+    return den
+
+
+def schedule_from_rates(
+        rates: Dict[Tuple[NodeId, NodeId, Item], Tuple[object, object]],
+        throughput: object,
+        deliveries: Dict[Item, NodeId],
+        name: str = "schedule",
+        compute_rates: Optional[Dict[Tuple[NodeId, Item], Tuple[object, Tuple[Item, ...], object]]] = None,
+        period: Optional[int] = None,
+        integral_times: str = "auto",
+) -> PeriodicSchedule:
+    """Build a periodic schedule from steady-state rates.
+
+    Parameters
+    ----------
+    rates:
+        ``(src, dst, item) -> (rate, unit_time)``: ``rate`` messages of
+        ``item`` per time-unit on edge ``(src, dst)``, each occupying the
+        edge for ``unit_time``.  All values must be exact rationals.
+    throughput:
+        Operations per time-unit (defines ``ops_per_period``).
+    deliveries:
+        ``item -> node`` completing an operation on arrival.
+    compute_rates:
+        ``(node, output item) -> (rate, input items, unit_time)`` for reduce
+        schedules.
+    period:
+        Override the period (must make all counts integral); defaults to the
+        lcm of rate denominators (including compute and throughput).
+    integral_times:
+        The paper picks ``T`` so that "every communication time is an
+        integer" — i.e. the per-period occupation times ``rate * unit_time
+        * T`` are integral too, not just the message counts.  That is
+        cosmetic for the exact pipeline (Fractions carry through) and can
+        explode ``T`` on platforms with many coprime link costs, so:
+        ``"always"`` — require it; ``"never"`` — only counts integral;
+        ``"auto"`` (default) — require it unless the resulting period
+        exceeds ``10**6`` times the counts-only period.
+    """
+    count_rates = [r for (r, _t) in rates.values()] + [throughput]
+    time_rates = [r * t for (r, t) in rates.values()]
+    if compute_rates:
+        count_rates += [r for (r, _i, _t) in compute_rates.values()]
+        time_rates += [r * t for (r, _i, t) in compute_rates.values()]
+    T_counts = lcm_period(count_rates)
+    if integral_times == "never":
+        T = T_counts
+    else:
+        T_full = lcm_period(count_rates + time_rates)
+        if integral_times == "always":
+            T = T_full
+        else:  # auto
+            T = T_full if T_full <= 10**6 * T_counts else T_counts
+    if period is not None:
+        if any((r * period) != int(r * period) for r in count_rates):
+            raise ValueError(f"period {period} does not make counts integral")
+        T = period
+
+    # integer per-period message counts and edge occupation times
+    counts: Dict[Tuple[NodeId, NodeId, Item], int] = {}
+    edge_time: Dict[Tuple[NodeId, NodeId], object] = {}
+    per_period: Dict[Item, int] = {}
+    for (i, j, item), (rate, unit_time) in rates.items():
+        n = rate * T
+        n_int = int(n)
+        if n != n_int:
+            raise ValueError(f"rate {rate} not integral over period {T}")
+        if n_int == 0:
+            continue
+        counts[(i, j, item)] = n_int
+        edge_time[(i, j)] = edge_time.get((i, j), 0) + n_int * unit_time
+        per_period[item] = per_period.get(item, 0) + n_int
+
+    # one-port sanity: port loads must fit in the period
+    for (i, j), w in edge_time.items():
+        if w > T:
+            raise ValueError(f"edge ({i!r},{j!r}) load {w} exceeds period {T}")
+    send_load: Dict[NodeId, object] = {}
+    recv_load: Dict[NodeId, object] = {}
+    for (i, j), w in edge_time.items():
+        send_load[i] = send_load.get(i, 0) + w
+        recv_load[j] = recv_load.get(j, 0) + w
+    for n_, w in list(send_load.items()) + list(recv_load.items()):
+        if w > T:
+            raise ValueError(f"port load {w} at {n_!r} exceeds period {T}")
+
+    # matching decomposition over send/recv ports
+    port_edges = [(("S", i), ("R", j), w) for (i, j), w in edge_time.items()]
+    matchings = decompose_matchings(port_edges, cap=Fraction(T))
+
+    # allocate item message counts to this edge's slots, in slot order
+    remaining: Dict[Tuple[NodeId, NodeId], List] = {}
+    for (i, j, item), n in sorted(counts.items(), key=lambda kv: str(kv[0])):
+        unit_time = rates[(i, j, item)][1]
+        remaining.setdefault((i, j), []).append([item, n * unit_time, unit_time])
+
+    slots: List[Slot] = []
+    for m in matchings:
+        slot = Slot(duration=m.duration)
+        for (su, rv) in m.pairs:
+            i, j = su[1], rv[1]
+            queue = remaining.get((i, j), [])
+            room = m.duration
+            while room > 0 and queue:
+                item, time_left, unit_time = queue[0]
+                take = time_left if time_left <= room else room
+                slot.transfers.append(Transfer(
+                    src=i, dst=j, item=item,
+                    units=Fraction(take) / Fraction(unit_time), time=take))
+                room = room - take
+                if take == time_left:
+                    queue.pop(0)
+                else:
+                    queue[0][1] = time_left - take
+        slots.append(slot)
+    leftovers = {k: q for k, q in remaining.items() if q}
+    if leftovers:
+        raise AssertionError(f"unallocated transfer time: {leftovers}")
+
+    compute: Dict[NodeId, List[ComputeTask]] = {}
+    if compute_rates:
+        for (node, output), (rate, inputs, unit_time) in compute_rates.items():
+            n = rate * T
+            n_int = int(n)
+            if n != n_int:
+                raise ValueError(f"compute rate {rate} not integral over {T}")
+            if n_int == 0:
+                continue
+            compute.setdefault(node, []).append(
+                ComputeTask(node=node, output=output, inputs=tuple(inputs),
+                            count=n_int, unit_time=unit_time))
+        for node, tasks in compute.items():
+            load = sum((ct.count * ct.unit_time for ct in tasks), 0)
+            if load > T:
+                raise ValueError(f"compute load {load} at {node!r} exceeds period {T}")
+
+    return PeriodicSchedule(name=name, period=Fraction(T),
+                            throughput=throughput, slots=slots,
+                            per_period=per_period, deliveries=dict(deliveries),
+                            compute=compute)
+
+
+def build_reduce_schedule(solution, trees=None):
+    """Periodic schedule for a Series of Reduces from extracted trees.
+
+    ``solution`` is a :class:`repro.core.reduce_op.ReduceSolution`; ``trees``
+    (weighted reduction trees) default to ``solution.trees`` (extracting them
+    if needed).  Requires exact rational tree weights; float solutions go
+    through :func:`repro.core.fixed_period.fixed_period_approximation`.
+    """
+    from repro.core.reduce_op import ReduceSolution  # cycle guard
+
+    if trees is None:
+        trees = solution.trees if solution.trees is not None else solution.extract()
+    problem = solution.problem
+    g = problem.platform
+    rates: Dict[Tuple[NodeId, NodeId, Item], Tuple[object, object]] = {}
+    compute_rates: Dict[Tuple[NodeId, Item], Tuple[object, Tuple[Item, ...], object]] = {}
+    tp = 0
+    for r, tree in enumerate(trees):
+        w = tree.weight
+        tp = tp + w
+        for tr in tree.transfers:
+            i, j, (k, m) = tr.src, tr.dst, tr.interval
+            item = ("val", (k, m), r)
+            unit_time = problem.size((k, m)) * g.cost(i, j)
+            old = rates.get((i, j, item), (0, unit_time))
+            rates[(i, j, item)] = (old[0] + w, unit_time)
+        for tk in tree.tasks:
+            node, (k, l, m) = tk.node, tk.task
+            out_item = ("val", (k, m), r)
+            in_items = (("val", (k, l), r), ("val", (l + 1, m), r))
+            unit_time = problem.task_time(node, (k, l, m))
+            key = (node, out_item)
+            old = compute_rates.get(key)
+            if old is None:
+                compute_rates[key] = (w, in_items, unit_time)
+            else:
+                compute_rates[key] = (old[0] + w, in_items, unit_time)
+    deliveries = {("val", (0, problem.n_values - 1), r): problem.target
+                  for r in range(len(trees))}
+    return schedule_from_rates(rates, throughput=tp, deliveries=deliveries,
+                               name=f"reduce({g.name})",
+                               compute_rates=compute_rates)

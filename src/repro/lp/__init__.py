@@ -1,0 +1,40 @@
+"""Linear-programming substrate.
+
+The paper solves its steady-state LPs *in rational numbers* with tools like
+``lpsolve`` or Maple, then multiplies by the lcm of denominators to obtain an
+integer periodic schedule.  Neither tool is available here, so this package
+provides the substrate from scratch:
+
+- :mod:`repro.lp.model` — a small PuLP-flavoured modeling layer
+  (:class:`LinearProgram`, :class:`Variable`, affine expressions,
+  ``<=``/``>=``/``==`` constraints),
+- :mod:`repro.lp.exact_simplex` — a two-phase primal simplex over
+  :class:`fractions.Fraction` with Bland's anti-cycling rule: bit-exact
+  rational optima, exactly what the lcm-of-denominators step needs,
+- :mod:`repro.lp.highs` — a floating-point backend on
+  :func:`scipy.optimize.linprog` (HiGHS) for larger instances,
+- :mod:`repro.lp.rationalize` — snapping float solutions to rationals with
+  exact feasibility verification,
+- :func:`repro.lp.solve` — auto-dispatch between the two backends.
+"""
+
+from repro.lp.model import Constraint, LinearProgram, LinExpr, Variable, lin_sum
+from repro.lp.solution import LPSolution, SolveStatus
+from repro.lp.exact_simplex import ExactSimplexSolver
+from repro.lp.highs import HighsSolver
+from repro.lp.rationalize import rationalize_solution
+from repro.lp.dispatch import solve
+
+__all__ = [
+    "Constraint",
+    "LinearProgram",
+    "LinExpr",
+    "Variable",
+    "lin_sum",
+    "LPSolution",
+    "SolveStatus",
+    "ExactSimplexSolver",
+    "HighsSolver",
+    "rationalize_solution",
+    "solve",
+]

@@ -1,0 +1,54 @@
+"""Backend auto-dispatch for LP solving.
+
+``backend="auto"`` sends small rational LPs to the exact simplex (bit-exact
+rationals, as the paper's pipeline assumes) and everything else to HiGHS,
+followed by a rationalization attempt so downstream exact machinery can still
+run whenever the optimum has modest denominators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lp.exact_simplex import ExactSimplexSolver
+from repro.lp.highs import HighsSolver
+from repro.lp.model import LinearProgram
+from repro.lp.rationalize import rationalize_solution
+from repro.lp.solution import LPSolution
+
+#: LPs with at most this many variables go to the exact simplex by default.
+EXACT_VAR_LIMIT = 220
+
+
+def solve(lp: LinearProgram, backend: str = "auto",
+          exact_var_limit: int = EXACT_VAR_LIMIT,
+          rationalize: bool = True) -> LPSolution:
+    """Solve ``lp`` with the requested backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"exact"`` — rational simplex (requires rational data);
+        ``"highs"`` — scipy/HiGHS float solve;
+        ``"auto"`` — exact when the LP is rational and small, HiGHS otherwise.
+    rationalize:
+        After a HiGHS solve of a rational LP, attempt to snap the solution to
+        exact rationals (verified); on success the returned solution has
+        ``exact=True``.
+    """
+    if backend == "exact":
+        return ExactSimplexSolver().solve(lp)
+    if backend == "highs":
+        sol = HighsSolver().solve(lp)
+    elif backend == "auto":
+        if lp.is_rational() and lp.num_vars() <= exact_var_limit:
+            return ExactSimplexSolver().solve(lp)
+        sol = HighsSolver().solve(lp)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+
+    if rationalize and sol.optimal and lp.is_rational():
+        snapped: Optional[LPSolution] = rationalize_solution(sol)
+        if snapped is not None:
+            return snapped
+    return sol

@@ -1,0 +1,77 @@
+"""Floating-point LP backend on :func:`scipy.optimize.linprog` (HiGHS).
+
+Used for instances too large for the exact tableau simplex (the Figure 9/10
+reduce LP has ~2000 variables).  The float optimum is then either
+rationalized-and-verified (:mod:`repro.lp.rationalize`) or fed to the paper's
+own Section 4.6 fixed-period rounding, which tolerates float inputs by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.model import EQ, GE, LE, LinearProgram
+from repro.lp.solution import LPSolution, SolveStatus
+
+
+class HighsSolver:
+    """scipy/HiGHS backend for :class:`LinearProgram`."""
+
+    def __init__(self, method: str = "highs") -> None:
+        self.method = method
+
+    def solve(self, lp: LinearProgram) -> LPSolution:
+        n = lp.num_vars()
+        c = np.zeros(n)
+        for j, coef in lp.objective.coefs.items():
+            c[j] = float(coef)
+        if lp.sense_max:
+            c = -c
+
+        a_ub_rows, b_ub = [], []
+        a_eq_rows, b_eq = [], []
+        for con in lp.constraints:
+            row = np.zeros(n)
+            for j, coef in con.expr.coefs.items():
+                row[j] = float(coef)
+            b = -float(con.expr.constant)
+            if con.sense == LE:
+                a_ub_rows.append(row)
+                b_ub.append(b)
+            elif con.sense == GE:
+                a_ub_rows.append(-row)
+                b_ub.append(-b)
+            else:
+                a_eq_rows.append(row)
+                b_eq.append(b)
+
+        bounds = [(float(v.lb), None if v.ub is None else float(v.ub))
+                  for v in lp.variables]
+        res = linprog(
+            c,
+            A_ub=np.array(a_ub_rows) if a_ub_rows else None,
+            b_ub=np.array(b_ub) if b_ub else None,
+            A_eq=np.array(a_eq_rows) if a_eq_rows else None,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=bounds,
+            method=self.method,
+        )
+        if res.status == 2:
+            return LPSolution(SolveStatus.INFEASIBLE, backend="highs", lp=lp)
+        if res.status == 3:
+            return LPSolution(SolveStatus.UNBOUNDED, backend="highs", lp=lp)
+        if not res.success:
+            return LPSolution(SolveStatus.ERROR, backend="highs", lp=lp)
+
+        values: Dict[int, float] = {}
+        for j, x in enumerate(res.x):
+            if x != 0.0:
+                values[j] = float(x)
+        objective = lp.objective.evaluate(values)
+        return LPSolution(SolveStatus.OPTIMAL, objective=objective,
+                          values=values, backend="highs", exact=False, lp=lp,
+                          iterations=int(getattr(res, "nit", 0) or 0))

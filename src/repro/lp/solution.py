@@ -1,0 +1,65 @@
+"""LP solution objects shared by all backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Optional, Union
+
+from repro.lp.model import LinearProgram, Variable
+
+Number = Union[int, float, Fraction]
+
+
+class SolveStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class LPSolution:
+    """Result of solving a :class:`~repro.lp.model.LinearProgram`.
+
+    ``values`` maps variable *index* to value; use :meth:`value` /
+    :meth:`by_name` for convenient access.  ``exact`` is True when values are
+    int/Fraction (from the exact simplex or successful rationalization).
+    """
+
+    status: SolveStatus
+    objective: Optional[Number] = None
+    values: Dict[int, Number] = field(default_factory=dict)
+    backend: str = ""
+    exact: bool = False
+    lp: Optional[LinearProgram] = None
+    iterations: int = 0
+
+    @property
+    def optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def value(self, var: Variable) -> Number:
+        """Value of ``var`` (0 for variables absent from the basis)."""
+        return self.values.get(var.index, 0)
+
+    def by_name(self, name: str) -> Number:
+        if self.lp is None:
+            raise ValueError("solution has no attached LP")
+        return self.value(self.lp.get(name))
+
+    def named_values(self, nonzero_only: bool = True) -> Dict[str, Number]:
+        """Human-readable ``{variable name: value}`` map."""
+        if self.lp is None:
+            raise ValueError("solution has no attached LP")
+        out: Dict[str, Number] = {}
+        for v in self.lp.variables:
+            x = self.values.get(v.index, 0)
+            if x != 0 or not nonzero_only:
+                out[v.name] = x
+        return out
+
+    def __repr__(self) -> str:
+        return (f"LPSolution({self.status.value}, objective={self.objective}, "
+                f"backend={self.backend!r}, exact={self.exact})")

@@ -1,0 +1,12 @@
+"""A simulated MPI-flavoured communicator over the platform model.
+
+Stands in for the paper's deployment context (grid applications issuing
+collective operations through an MPI-like library, Section 5).  The
+semantics mirror mpi4py's lowercase object API; execution happens in the
+one-port simulator, with the steady-state schedules behind the series
+variants.
+"""
+
+from repro.mpi.comm import SimComm
+
+__all__ = ["SimComm"]

@@ -1,0 +1,65 @@
+"""Heterogeneous platform model.
+
+The target computing platform of the paper is a directed edge-weighted graph
+``G = (V, E, c)`` where each edge ``e`` carries ``c(e)``, the time needed to
+transfer one unit of message across that edge, and each node may additionally
+carry a compute speed (Section 2 of RR-4872).  This package provides:
+
+- :class:`~repro.platform.graph.PlatformGraph` — the graph data structure,
+- :mod:`~repro.platform.generators` — synthetic topology generators, including
+  a Tiers-like hierarchical generator standing in for the Tiers tool [9],
+- :mod:`~repro.platform.routing` — shortest-path routing helpers,
+- :mod:`~repro.platform.io` — JSON (de)serialization,
+- :mod:`~repro.platform.examples` — the exact platforms used in the paper's
+  figures (Fig. 2 toy scatter, Fig. 6 triangle reduce, Fig. 9 Tiers graph).
+"""
+
+from repro.platform.graph import Edge, PlatformGraph
+from repro.platform.generators import (
+    chain,
+    clustered,
+    complete,
+    grid2d,
+    random_connected,
+    ring,
+    star,
+    tiers,
+    tree,
+)
+from repro.platform.examples import (
+    figure2_platform,
+    figure6_platform,
+    figure9_platform,
+    triangle_platform,
+)
+from repro.platform.io import platform_from_json, platform_to_json
+from repro.platform.routing import (
+    dijkstra,
+    path_cost,
+    shortest_path,
+    shortest_path_tree,
+)
+
+__all__ = [
+    "Edge",
+    "PlatformGraph",
+    "chain",
+    "clustered",
+    "complete",
+    "grid2d",
+    "random_connected",
+    "ring",
+    "star",
+    "tiers",
+    "tree",
+    "figure2_platform",
+    "figure6_platform",
+    "figure9_platform",
+    "triangle_platform",
+    "platform_from_json",
+    "platform_to_json",
+    "dijkstra",
+    "path_cost",
+    "shortest_path",
+    "shortest_path_tree",
+]

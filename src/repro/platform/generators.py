@@ -1,0 +1,257 @@
+"""Synthetic platform topology generators.
+
+The paper's experiments use a random topology produced by Tiers [9] — a
+hierarchical WAN / MAN / LAN internet-topology generator — with randomly
+chosen link bandwidths and node speeds.  Tiers itself (1997 C code) is not
+available offline, so :func:`tiers` reproduces its statistical shape: a WAN
+core of routers, MAN rings hanging off WAN nodes, and LAN stars of compute
+hosts hanging off MAN nodes, with fast (low-cost) LAN links and slower
+WAN/MAN links.  All generators are deterministic given ``seed``.
+
+All generators return costs as ``int`` or :class:`fractions.Fraction` so the
+exact scheduling pipeline applies directly.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.platform.graph import PlatformGraph
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def star(n_leaves: int, center_speed: int = 1, leaf_speed: int = 1,
+         cost: object = 1) -> PlatformGraph:
+    """A center node ``c`` linked bidirectionally to leaves ``l0 .. l{n-1}``."""
+    if n_leaves < 1:
+        raise ValueError("star needs at least one leaf")
+    g = PlatformGraph(f"star{n_leaves}")
+    g.add_node("c", center_speed)
+    for i in range(n_leaves):
+        g.add_node(f"l{i}", leaf_speed)
+        g.add_link("c", f"l{i}", cost)
+    return g
+
+
+def chain(n: int, cost: object = 1, speed: int = 1) -> PlatformGraph:
+    """Bidirectional path ``p0 - p1 - ... - p{n-1}``."""
+    if n < 2:
+        raise ValueError("chain needs at least 2 nodes")
+    g = PlatformGraph(f"chain{n}")
+    for i in range(n):
+        g.add_node(f"p{i}", speed)
+    for i in range(n - 1):
+        g.add_link(f"p{i}", f"p{i+1}", cost)
+    return g
+
+
+def ring(n: int, cost: object = 1, speed: int = 1) -> PlatformGraph:
+    """Bidirectional cycle of ``n`` compute nodes."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    g = PlatformGraph(f"ring{n}")
+    for i in range(n):
+        g.add_node(f"p{i}", speed)
+    for i in range(n):
+        g.add_link(f"p{i}", f"p{(i+1) % n}", cost)
+    return g
+
+
+def complete(n: int, cost: object = 1, speeds: Optional[Sequence[int]] = None) -> PlatformGraph:
+    """Fully connected graph on ``n`` compute nodes (the model of [1])."""
+    if n < 2:
+        raise ValueError("complete needs at least 2 nodes")
+    g = PlatformGraph(f"complete{n}")
+    for i in range(n):
+        g.add_node(f"p{i}", speeds[i] if speeds else 1)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_link(f"p{i}", f"p{j}", cost)
+    return g
+
+
+def grid2d(rows: int, cols: int, cost: object = 1, speed: int = 1) -> PlatformGraph:
+    """2-D mesh of compute nodes (the wormhole-mesh setting of [3, 25])."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid needs at least 2 nodes")
+    g = PlatformGraph(f"grid{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node(f"p{r}_{c}", speed)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_link(f"p{r}_{c}", f"p{r}_{c+1}", cost)
+            if r + 1 < rows:
+                g.add_link(f"p{r}_{c}", f"p{r+1}_{c}", cost)
+    return g
+
+
+def tree(n: int, seed: Optional[int] = 0, max_children: int = 3,
+         cost_choices: Sequence[object] = (1, 2, 3),
+         speed_choices: Sequence[int] = (1, 2, 4)) -> PlatformGraph:
+    """Random rooted tree of ``n`` compute nodes with random costs/speeds."""
+    if n < 2:
+        raise ValueError("tree needs at least 2 nodes")
+    rng = _rng(seed)
+    g = PlatformGraph(f"tree{n}")
+    g.add_node("p0", rng.choice(list(speed_choices)))
+    children = {0: 0}
+    for i in range(1, n):
+        candidates = [j for j, k in children.items() if k < max_children]
+        parent = rng.choice(candidates)
+        children[parent] += 1
+        children[i] = 0
+        g.add_node(f"p{i}", rng.choice(list(speed_choices)))
+        g.add_link(f"p{parent}", f"p{i}", rng.choice(list(cost_choices)))
+    return g
+
+
+def random_connected(n: int, extra_edges: int = 0, seed: Optional[int] = 0,
+                     cost_choices: Sequence[object] = (1, 2, 3, 4),
+                     speed_choices: Sequence[int] = (1, 2, 4, 8)) -> PlatformGraph:
+    """Random connected graph: a random spanning tree plus ``extra_edges``
+    uniformly random additional bidirectional links.
+
+    Extra edges create the multiple routes the steady-state LP exploits.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = _rng(seed)
+    g = PlatformGraph(f"rand{n}+{extra_edges}")
+    for i in range(n):
+        g.add_node(f"p{i}", rng.choice(list(speed_choices)))
+    order = list(range(n))
+    rng.shuffle(order)
+    for idx in range(1, n):
+        a = order[idx]
+        b = order[rng.randrange(idx)]
+        g.add_link(f"p{a}", f"p{b}", rng.choice(list(cost_choices)))
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        a, b = rng.sample(range(n), 2)
+        if not g.has_edge(f"p{a}", f"p{b}"):
+            g.add_link(f"p{a}", f"p{b}", rng.choice(list(cost_choices)))
+            added += 1
+    return g
+
+
+def clustered(n_clusters: int, hosts_per_cluster: int, seed: Optional[int] = 0,
+              intra_cost: object = 1, inter_cost_choices: Sequence[object] = (5, 8, 10),
+              speed_choices: Sequence[int] = (1, 2, 4, 8)) -> PlatformGraph:
+    """Clusters of compute hosts behind router gateways, routers in a ring.
+
+    This is the two-layer structure that grid communication libraries such as
+    ECO and MagPIe (Section 5 of the paper) assume: cheap intra-cluster
+    links, expensive inter-cluster links.
+    """
+    if n_clusters < 1 or hosts_per_cluster < 1:
+        raise ValueError("need at least one cluster with one host")
+    rng = _rng(seed)
+    g = PlatformGraph(f"clustered{n_clusters}x{hosts_per_cluster}")
+    for c in range(n_clusters):
+        g.add_node(f"r{c}", None)  # gateway router
+        for h in range(hosts_per_cluster):
+            g.add_node(f"c{c}h{h}", rng.choice(list(speed_choices)))
+            g.add_link(f"r{c}", f"c{c}h{h}", intra_cost)
+    if n_clusters > 1:
+        for c in range(n_clusters):
+            g.add_link(f"r{c}", f"r{(c+1) % n_clusters}",
+                       rng.choice(list(inter_cost_choices)))
+    return g
+
+
+def tiers(seed: Optional[int] = 0, wan_nodes: int = 4, mans_per_wan: int = 1,
+          lans_per_man: int = 2, hosts_per_lan: int = 2,
+          wan_redundancy: int = 1,
+          speed_range: tuple = (10, 100),
+          lan_cost: Fraction = Fraction(1, 100),
+          man_cost_range: tuple = (2, 8),
+          wan_cost_range: tuple = (4, 15)) -> PlatformGraph:
+    """Tiers-like hierarchical random topology (stands in for Tiers [9]).
+
+    Structure (mirroring Calvert/Doar/Zegura's three-level hierarchy):
+
+    - a WAN core: ``wan_nodes`` routers on a random spanning tree plus
+      ``wan_redundancy`` extra links (redundancy creates multi-route
+      opportunities, as in the paper's Figure 9 where e.g. nodes 4/5 form a
+      cycle with 10/12),
+    - per WAN node, ``mans_per_wan`` MAN routers,
+    - per MAN router, ``lans_per_man`` LAN gateways,
+    - per LAN gateway, ``hosts_per_lan`` compute hosts on fast links.
+
+    Compute hosts get uniform random integer speeds in ``speed_range`` —
+    Figure 9's speeds (15, 17, 38, 55, 64, 75, 79, 92) were drawn similarly.
+    Costs are Fractions/ints so exact scheduling applies.
+    """
+    rng = _rng(seed)
+    g = PlatformGraph(f"tiers-seed{seed}")
+    # WAN core
+    wan = [f"w{i}" for i in range(wan_nodes)]
+    for w in wan:
+        g.add_node(w, None)
+    order = list(range(wan_nodes))
+    rng.shuffle(order)
+    for idx in range(1, wan_nodes):
+        a, b = order[idx], order[rng.randrange(idx)]
+        g.add_link(wan[a], wan[b], rng.randint(*wan_cost_range))
+    added = 0
+    attempts = 0
+    while added < wan_redundancy and attempts < 50 * (wan_redundancy + 1) and wan_nodes > 2:
+        attempts += 1
+        a, b = rng.sample(range(wan_nodes), 2)
+        if not g.has_edge(wan[a], wan[b]):
+            g.add_link(wan[a], wan[b], rng.randint(*wan_cost_range))
+            added += 1
+    # MAN layer
+    host_idx = 0
+    for wi, w in enumerate(wan):
+        for mi in range(mans_per_wan):
+            m = f"m{wi}_{mi}"
+            g.add_node(m, None)
+            g.add_link(w, m, rng.randint(*man_cost_range))
+            # LAN layer
+            for li in range(lans_per_man):
+                lan_gw = f"g{wi}_{mi}_{li}"
+                g.add_node(lan_gw, None)
+                g.add_link(m, lan_gw, rng.randint(*man_cost_range))
+                for _ in range(hosts_per_lan):
+                    h = f"h{host_idx}"
+                    host_idx += 1
+                    g.add_node(h, rng.randint(*speed_range))
+                    g.add_link(lan_gw, h, lan_cost)
+    return g
+
+
+def heterogenize(g: PlatformGraph, seed: Optional[int] = 0,
+                 cost_choices: Sequence[object] = (1, 2, 3, 5),
+                 speed_choices: Sequence[int] = (1, 2, 4, 8)) -> PlatformGraph:
+    """Copy of ``g`` with costs and speeds re-drawn at random.
+
+    Handy for turning a regular topology (ring, grid) into a heterogeneous
+    instance while keeping its structure.  Bidirectional links (edge pairs
+    ``(u,v)/(v,u)`` with equal costs) stay symmetric.
+    """
+    rng = _rng(seed)
+    out = PlatformGraph(f"{g.name}-het")
+    for n in g.nodes():
+        out.add_node(n, rng.choice(list(speed_choices)) if g.is_compute(n) else None)
+    done = set()
+    for e in g.edges():
+        if (e.src, e.dst) in done:
+            continue
+        c = rng.choice(list(cost_choices))
+        symmetric = g.has_edge(e.dst, e.src) and g.cost(e.dst, e.src) == e.cost
+        out.add_edge(e.src, e.dst, c)
+        done.add((e.src, e.dst))
+        if symmetric:
+            out.add_edge(e.dst, e.src, c)
+            done.add((e.dst, e.src))
+    return out

@@ -1,0 +1,324 @@
+"""Directed edge-weighted platform graph (Section 2 of the paper).
+
+The graph may include cycles and multiple routes between node pairs.  Each
+directed edge ``(i, j)`` carries ``c(i, j)``: the time needed to transfer a
+unit-size message from ``Pi`` to ``Pj``.  The graph is *directed*: the
+existence of ``(i, j)`` does not imply the existence of ``(j, i)``, and when
+both exist their costs may differ.
+
+Nodes carry an optional compute ``speed``.  A node with ``speed is None`` (or
+``0``) is a pure *router*: it forwards messages but cannot execute reduction
+tasks and owns no value.  This matches the white router nodes of Figure 9.
+
+Costs and speeds are kept as the numeric type the caller provides.  The exact
+scheduling pipeline feeds :class:`fractions.Fraction` (or ``int``) costs so
+that periods, message counts and matchings stay bit-exact; float costs are
+accepted for the HiGHS/approximation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from numbers import Rational
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+NodeId = Hashable
+Num = object  # int | Fraction | float — deliberately duck-typed
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed communication link ``src -> dst`` with unit-message cost."""
+
+    src: NodeId
+    dst: NodeId
+    cost: Num
+
+    def reversed(self) -> "Edge":
+        """The same link in the opposite direction (same cost)."""
+        return Edge(self.dst, self.src, self.cost)
+
+
+class PlatformGraph:
+    """A directed, edge-weighted heterogeneous platform.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable platform name (used in reports).
+
+    Examples
+    --------
+    >>> g = PlatformGraph("toy")
+    >>> g.add_node("s")
+    >>> g.add_node("a", speed=2)
+    >>> g.add_edge("s", "a", 1)
+    >>> g.cost("s", "a")
+    1
+    """
+
+    def __init__(self, name: str = "platform") -> None:
+        self.name = name
+        self._speed: Dict[NodeId, Optional[Num]] = {}
+        self._succ: Dict[NodeId, Dict[NodeId, Num]] = {}
+        self._pred: Dict[NodeId, Dict[NodeId, Num]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, speed: Optional[Num] = None) -> None:
+        """Add ``node``.  ``speed`` > 0 marks a compute node; ``None``/0 a router.
+
+        Re-adding an existing node updates its speed but keeps its edges.
+        """
+        if node not in self._speed:
+            self._succ[node] = {}
+            self._pred[node] = {}
+        self._speed[node] = speed
+
+    def add_edge(self, src: NodeId, dst: NodeId, cost: Num) -> None:
+        """Add the directed edge ``src -> dst`` with unit-message time ``cost``.
+
+        Endpoints are created (as routers) if absent.  ``cost`` must be
+        positive: a zero-cost link would allow infinite throughput and breaks
+        the one-port accounting.
+        """
+        if src == dst:
+            raise ValueError(f"self-loop {src!r} -> {dst!r} is not allowed")
+        if not _is_positive(cost):
+            raise ValueError(f"edge cost must be > 0, got {cost!r}")
+        if src not in self._speed:
+            self.add_node(src)
+        if dst not in self._speed:
+            self.add_node(dst)
+        self._succ[src][dst] = cost
+        self._pred[dst][src] = cost
+
+    def add_link(self, a: NodeId, b: NodeId, cost: Num,
+                 cost_back: Optional[Num] = None) -> None:
+        """Add a bidirectional link: edges ``a -> b`` and ``b -> a``.
+
+        ``cost_back`` defaults to ``cost`` (symmetric link).
+        """
+        self.add_edge(a, b, cost)
+        self.add_edge(b, a, cost if cost_back is None else cost_back)
+
+    def remove_edge(self, src: NodeId, dst: NodeId) -> None:
+        """Remove the directed edge ``src -> dst`` (KeyError if absent)."""
+        del self._succ[src][dst]
+        del self._pred[dst][src]
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and every incident edge."""
+        for dst in list(self._succ[node]):
+            self.remove_edge(node, dst)
+        for src in list(self._pred[node]):
+            self.remove_edge(src, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._speed[node]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[NodeId]:
+        """All node ids, in insertion order."""
+        return list(self._speed)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._speed
+
+    def __len__(self) -> int:
+        return len(self._speed)
+
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return sum(len(s) for s in self._succ.values())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all directed edges."""
+        for src, succ in self._succ.items():
+            for dst, cost in succ.items():
+                yield Edge(src, dst, cost)
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        return dst in self._succ.get(src, {})
+
+    def cost(self, src: NodeId, dst: NodeId) -> Num:
+        """Unit-message transfer time of edge ``src -> dst``."""
+        try:
+            return self._succ[src][dst]
+        except KeyError:
+            raise KeyError(f"no edge {src!r} -> {dst!r}") from None
+
+    def successors(self, node: NodeId) -> List[NodeId]:
+        """Nodes reachable from ``node`` through one outgoing edge."""
+        return list(self._succ[node])
+
+    def predecessors(self, node: NodeId) -> List[NodeId]:
+        """Nodes with an edge into ``node``."""
+        return list(self._pred[node])
+
+    def out_edges(self, node: NodeId) -> Iterator[Edge]:
+        for dst, cost in self._succ[node].items():
+            yield Edge(node, dst, cost)
+
+    def in_edges(self, node: NodeId) -> Iterator[Edge]:
+        for src, cost in self._pred[node].items():
+            yield Edge(src, node, cost)
+
+    def speed(self, node: NodeId) -> Optional[Num]:
+        """Compute speed of ``node`` (``None`` for routers)."""
+        return self._speed[node]
+
+    def is_compute(self, node: NodeId) -> bool:
+        """True if ``node`` can execute reduction tasks."""
+        s = self._speed[node]
+        return s is not None and _is_positive(s)
+
+    def compute_nodes(self) -> List[NodeId]:
+        """All compute nodes, in insertion order."""
+        return [n for n in self._speed if self.is_compute(n)]
+
+    def routers(self) -> List[NodeId]:
+        """All pure-router nodes."""
+        return [n for n in self._speed if not self.is_compute(n)]
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def copy(self) -> "PlatformGraph":
+        g = PlatformGraph(self.name)
+        for n, s in self._speed.items():
+            g.add_node(n, s)
+        for e in self.edges():
+            g.add_edge(e.src, e.dst, e.cost)
+        return g
+
+    def subgraph(self, keep: Iterable[NodeId]) -> "PlatformGraph":
+        """Induced subgraph on ``keep`` (edges with both endpoints kept)."""
+        keep_set = set(keep)
+        g = PlatformGraph(f"{self.name}-sub")
+        for n in self._speed:
+            if n in keep_set:
+                g.add_node(n, self._speed[n])
+        for e in self.edges():
+            if e.src in keep_set and e.dst in keep_set:
+                g.add_edge(e.src, e.dst, e.cost)
+        return g
+
+    def reversed(self) -> "PlatformGraph":
+        """Graph with every edge direction flipped (costs preserved)."""
+        g = PlatformGraph(f"{self.name}-rev")
+        for n, s in self._speed.items():
+            g.add_node(n, s)
+        for e in self.edges():
+            g.add_edge(e.dst, e.src, e.cost)
+        return g
+
+    def is_strongly_connected(self) -> bool:
+        """True if every node reaches every other following edge directions."""
+        nodes = self.nodes()
+        if len(nodes) <= 1:
+            return True
+        return (len(self.reachable_from(nodes[0])) == len(nodes)
+                and len(self.reversed().reachable_from(nodes[0])) == len(nodes))
+
+    def reachable_from(self, start: NodeId) -> set:
+        """Set of nodes reachable from ``start`` (including ``start``)."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in self._succ[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on structurally invalid platforms."""
+        for e in self.edges():
+            if not _is_positive(e.cost):
+                raise ValueError(f"edge {e.src!r}->{e.dst!r} has cost {e.cost!r}")
+        for n in self._speed:
+            s = self._speed[n]
+            if s is not None and _is_negative(s):
+                raise ValueError(f"node {n!r} has negative speed {s!r}")
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def as_fraction_costs(self) -> "PlatformGraph":
+        """Copy with every cost converted to :class:`fractions.Fraction`.
+
+        Float costs are converted via ``Fraction(str(x))`` — i.e. the decimal
+        literal the user most plausibly meant — so that ``0.1`` becomes
+        ``1/10`` and not the binary expansion.
+        """
+        g = PlatformGraph(self.name)
+        for n, s in self._speed.items():
+            g.add_node(n, _to_fraction(s) if s is not None else None)
+        for e in self.edges():
+            g.add_edge(e.src, e.dst, _to_fraction(e.cost))
+        return g
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` with ``cost`` edge attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for n, s in self._speed.items():
+            g.add_node(n, speed=s)
+        for e in self.edges():
+            g.add_edge(e.src, e.dst, cost=e.cost)
+        return g
+
+    @classmethod
+    def from_networkx(cls, nxg, name: Optional[str] = None) -> "PlatformGraph":
+        """Build from a networkx (Di)Graph with ``cost`` edge attributes.
+
+        Undirected input graphs produce one edge per direction.
+        """
+        g = cls(name or str(nxg.name or "platform"))
+        for n, data in nxg.nodes(data=True):
+            g.add_node(n, data.get("speed"))
+        directed = nxg.is_directed()
+        for u, v, data in nxg.edges(data=True):
+            c = data.get("cost", 1)
+            g.add_edge(u, v, c)
+            if not directed:
+                g.add_edge(v, u, c)
+        return g
+
+    def __repr__(self) -> str:
+        return (f"PlatformGraph({self.name!r}, nodes={len(self)}, "
+                f"edges={self.num_edges()}, compute={len(self.compute_nodes())})")
+
+
+def _is_positive(x: Num) -> bool:
+    try:
+        return x > 0
+    except TypeError:
+        return False
+
+
+def _is_negative(x: Num) -> bool:
+    try:
+        return x < 0
+    except TypeError:
+        return False
+
+
+def _to_fraction(x: Num) -> Fraction:
+    """Convert a number to Fraction, decoding floats via their str() literal."""
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, Rational):
+        return Fraction(x.numerator, x.denominator)
+    if isinstance(x, float):
+        return Fraction(str(x))
+    return Fraction(x)

@@ -1,0 +1,84 @@
+"""Platform (de)serialization.
+
+The JSON schema is deliberately simple and lossless for int/Fraction costs:
+
+.. code-block:: json
+
+    {
+      "name": "figure2",
+      "nodes": [{"id": "Ps", "speed": 1}, {"id": "Pa", "speed": null}],
+      "edges": [{"src": "Ps", "dst": "Pa", "cost": "2/3"}]
+    }
+
+Numbers are stored as ints when integral, as ``"num/den"`` strings for
+Fractions, and as floats otherwise.  Node ids may be strings or ints.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict
+
+from repro.platform.graph import PlatformGraph
+
+
+def _num_to_json(x: Any) -> Any:
+    if x is None:
+        return None
+    if isinstance(x, bool):
+        raise TypeError("bool is not a valid cost/speed")
+    if isinstance(x, int):
+        return x
+    if isinstance(x, Fraction):
+        if x.denominator == 1:
+            return int(x)
+        return f"{x.numerator}/{x.denominator}"
+    if isinstance(x, float):
+        return x
+    raise TypeError(f"cannot serialize number {x!r}")
+
+
+def _num_from_json(x: Any) -> Any:
+    if x is None or isinstance(x, (int, float)):
+        return x
+    if isinstance(x, str):
+        if "/" in x:
+            num, den = x.split("/", 1)
+            return Fraction(int(num), int(den))
+        return Fraction(x)
+    raise TypeError(f"cannot parse number {x!r}")
+
+
+def platform_to_json(g: PlatformGraph) -> str:
+    """Serialize ``g`` to a JSON string."""
+    doc: Dict[str, Any] = {
+        "name": g.name,
+        "nodes": [{"id": n, "speed": _num_to_json(g.speed(n))} for n in g.nodes()],
+        "edges": [{"src": e.src, "dst": e.dst, "cost": _num_to_json(e.cost)}
+                  for e in g.edges()],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def platform_from_json(text: str) -> PlatformGraph:
+    """Parse a platform from the JSON produced by :func:`platform_to_json`."""
+    doc = json.loads(text)
+    g = PlatformGraph(doc.get("name", "platform"))
+    for nd in doc["nodes"]:
+        g.add_node(nd["id"], _num_from_json(nd.get("speed")))
+    for ed in doc["edges"]:
+        g.add_edge(ed["src"], ed["dst"], _num_from_json(ed["cost"]))
+    return g
+
+
+def save_platform(g: PlatformGraph, path: str) -> None:
+    """Write ``g`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(platform_to_json(g))
+
+
+def load_platform(path: str) -> PlatformGraph:
+    """Read a platform from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return platform_from_json(fh.read())

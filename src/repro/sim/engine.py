@@ -1,0 +1,63 @@
+"""Minimal discrete-event engine.
+
+A heap of timestamped callbacks.  The periodic executor computes most times
+arithmetically, but the engine is what the dynamic baselines and the MPI
+façade drive; it also gives tests a place to exercise event ordering
+semantics (ties break in scheduling order, never by callback identity).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class Engine:
+    """Priority-queue event loop with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap: List[Tuple[object, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    def at(self, time, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` from now."""
+        self.at(self.now + delay, fn)
+
+    def run(self, until=None) -> object:
+        """Process events in time order; stop when empty or past ``until``.
+
+        Returns the final clock value.
+        """
+        self._running = True
+        try:
+            while self._heap:
+                time, _seq, fn = self._heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = time
+                fn()
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def reset(self) -> None:
+        self.now = 0
+        self._heap.clear()
+        self._seq = 0

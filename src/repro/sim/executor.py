@@ -1,0 +1,325 @@
+"""Periodic-schedule replay under the one-port model.
+
+The executor runs a :class:`~repro.core.schedule.PeriodicSchedule` for a
+number of periods with *store-and-forward buffers at period granularity*:
+an item received (or computed) during period ``p`` becomes usable in period
+``p + 1``.  Consequences, all intended:
+
+- The Section 3.4 **initialization phase** emerges by itself: in the first
+  periods, downstream edges find empty buffers and ship less; after roughly
+  the platform diameter (in periods) every buffer holds one period's worth
+  and the execution is exactly periodic — the steady state.
+- Every send happens inside its matching slot, so the one-port invariants
+  hold **by construction**; the trace validator re-proves it after the fact.
+- Message *instances* are tracked individually (FIFO per node and item) with
+  real payload values, so reduction results are checked against a
+  non-commutative reference — not just counted.
+
+Split messages (Figure 4a) are supported: a transfer may move a fractional
+number of messages; an instance completes its hop once cumulative shipped
+fraction reaches 1, and partially-shipped instances stay in the pipe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.schedule import PeriodicSchedule
+from repro.sim.operators import SeqConcat
+from repro.sim.trace import Trace, TraceEvent, validate_one_port
+
+NodeId = Hashable
+Item = Hashable
+
+
+@dataclass
+class Instance:
+    """A concrete message/value instance flowing through the platform."""
+
+    item: Item
+    seq: int
+    value: object
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying a schedule.
+
+    ``delivery_times[item]`` lists completion times of successive instances
+    of that delivery item (seq order).  ``errors`` collects correctness
+    problems (wrong value, out-of-order sequence); ``one_port_violations``
+    must be empty for any schedule this library produced.
+    """
+
+    schedule: PeriodicSchedule
+    periods: int
+    horizon: object
+    delivery_times: Dict[Item, List[object]]
+    trace: Optional[Trace]
+    errors: List[str] = field(default_factory=list)
+    one_port_violations: List[str] = field(default_factory=list)
+
+    @property
+    def correct(self) -> bool:
+        return not self.errors and not self.one_port_violations
+
+    def completed_ops(self, within=None) -> int:
+        """Operations fully completed (scatter: every target served).
+
+        For schedules with several delivery items (scatter targets, reduce
+        trees with round-robin stamps), an operation is complete when each
+        delivery item has produced one more instance — for scatter this is
+        exactly "all targets received message #s"; for reduce the deliveries
+        of distinct trees are independent operations and are summed.
+        """
+        if within is None:
+            within = self.horizon
+        counts = {item: sum(1 for t in ts if t <= within)
+                  for item, ts in self.delivery_times.items()}
+        if not counts:
+            return 0
+        if self.schedule.compute:  # reduce: trees are independent streams
+            return sum(counts.values())
+        return min(counts.values())  # scatter/gossip: all items per op
+
+    def measured_throughput(self) -> float:
+        if not self.horizon:
+            return 0.0
+        return self.completed_ops() / float(self.horizon)
+
+
+def simulate_schedule(schedule: PeriodicSchedule,
+                      supplies: Dict[Tuple[NodeId, Item], Callable[[int], object]],
+                      n_periods: int,
+                      combine: Optional[Callable[[object, object], object]] = None,
+                      expected: Optional[Callable[[Item, int], object]] = None,
+                      record_trace: bool = True) -> SimulationResult:
+    """Replay ``schedule`` for ``n_periods``.
+
+    Parameters
+    ----------
+    supplies:
+        ``(node, item) -> factory(seq)``: infinite stamped supply of
+        ``item`` at ``node`` (scatter source messages, reduce leaf values).
+    combine:
+        Binary operator for compute tasks (left, right) — required when the
+        schedule has compute tasks.
+    expected:
+        ``(delivery item, seq) -> expected value``; mismatches are recorded
+        in ``errors``.
+    """
+    T = schedule.period
+    avail: Dict[Tuple[NodeId, Item], deque] = {}
+    arriving: Dict[Tuple[NodeId, Item], List[Instance]] = {}
+    supply_seq: Dict[Tuple[NodeId, Item], int] = {}
+    # per (src, dst, item): instance partially shipped and fraction done
+    pipe: Dict[Tuple[NodeId, NodeId, Item], Tuple[Instance, object]] = {}
+    delivery_times: Dict[Item, List[object]] = {item: [] for item in schedule.deliveries}
+    delivery_seen: Dict[Item, set] = {item: set() for item in schedule.deliveries}
+    trace = Trace() if record_trace else None
+    errors: List[str] = []
+    # Reduce dataflows are per-tree FIFO chains, so arrivals must be in seq
+    # order; scatter/gossip commodities may split across routes with
+    # different latencies, which legally reorders distinct messages.
+    strict_order = bool(schedule.compute)
+
+    def take(node: NodeId, item: Item) -> Optional[Instance]:
+        """Pop the oldest available instance (drawing from supply if any)."""
+        key = (node, item)
+        q = avail.get(key)
+        if q:
+            return q.popleft()
+        factory = supplies.get(key)
+        if factory is not None:
+            seq = supply_seq.get(key, 0)
+            supply_seq[key] = seq + 1
+            return Instance(item=item, seq=seq, value=factory(seq))
+        return None
+
+    def peek_count(node: NodeId, item: Item) -> bool:
+        key = (node, item)
+        if supplies.get(key) is not None:
+            return True
+        q = avail.get(key)
+        return bool(q)
+
+    def land(node: NodeId, inst: Instance, time) -> None:
+        """Instance arrives at ``node`` (usable next period); count deliveries."""
+        item = inst.item
+        if schedule.deliveries.get(item) == node:
+            seen = delivery_seen[item]
+            if inst.seq in seen:
+                errors.append(f"delivery {item!r} seq {inst.seq} duplicated")
+            if strict_order and inst.seq != len(seen):
+                errors.append(f"delivery {item!r} out of order: got seq "
+                              f"{inst.seq}, expected {len(seen)}")
+            seen.add(inst.seq)
+            if expected is not None:
+                exp = expected(item, inst.seq)
+                if exp is not None and inst.value != exp:
+                    errors.append(f"delivery {item!r} seq {inst.seq} has wrong "
+                                  f"value {inst.value!r} != {exp!r}")
+            delivery_times[item].append(time)
+            return  # absorbed
+        arriving.setdefault((node, item), []).append(inst)
+
+    for p in range(n_periods):
+        p0 = p * T
+        # promote last period's arrivals
+        for key, lst in arriving.items():
+            avail.setdefault(key, deque()).extend(lst)
+        arriving = {}
+
+        # --- communications: slots in order ---
+        offset = 0
+        for slot in schedule.slots:
+            pair_off: Dict[Tuple[NodeId, NodeId], object] = {}
+            for tr in slot.transfers:
+                if tr.units <= 0:
+                    continue
+                unit_time = Fraction(tr.time) / Fraction(tr.units) \
+                    if not isinstance(tr.time, float) else tr.time / tr.units
+                pk = (tr.src, tr.dst, tr.item)
+                inflight = pipe.get(pk)
+                moved = 0
+                budget = tr.units
+                completed: List[Instance] = []
+                if inflight is not None:
+                    inst, done = inflight
+                    need = 1 - done
+                    step = need if need <= budget else budget
+                    done = done + step
+                    budget = budget - step
+                    moved = moved + step
+                    if done >= 1:
+                        completed.append(inst)
+                        pipe.pop(pk)
+                    else:
+                        pipe[pk] = (inst, done)
+                while budget > 0:
+                    inst = take(tr.src, tr.item)
+                    if inst is None:
+                        break
+                    if budget >= 1:
+                        completed.append(inst)
+                        budget = budget - 1
+                        moved = moved + 1
+                    else:
+                        pipe[pk] = (inst, budget)
+                        moved = moved + budget
+                        budget = 0
+                if moved > 0:
+                    start = p0 + offset + pair_off.get((tr.src, tr.dst), 0)
+                    dur = moved * unit_time
+                    end = start + dur
+                    pair_off[(tr.src, tr.dst)] = \
+                        pair_off.get((tr.src, tr.dst), 0) + dur
+                    if trace is not None:
+                        trace.add(TraceEvent(kind="send", node=tr.src,
+                                             peer=tr.dst, start=start, end=end,
+                                             item=tr.item))
+                    for inst in completed:
+                        land(tr.dst, inst, end)
+            offset = offset + slot.duration
+
+        # --- computations: sequential per node, overlapping comms ---
+        for node, tasks in schedule.compute.items():
+            cpu_off = 0
+            for ct in tasks:
+                for _rep in range(ct.count):
+                    left_item, right_item = ct.inputs
+                    if not (peek_count(node, left_item) and
+                            peek_count(node, right_item)):
+                        break  # warm-up: inputs not buffered yet
+                    left = take(node, left_item)
+                    right = take(node, right_item)
+                    if left.seq != right.seq:
+                        errors.append(
+                            f"task at {node!r} pairing seq {left.seq} with "
+                            f"{right.seq} for {ct.output!r}")
+                    if combine is None:
+                        raise ValueError("schedule has compute tasks but no "
+                                         "combine operator was given")
+                    out = Instance(item=ct.output, seq=left.seq,
+                                   value=combine(left.value, right.value))
+                    start = p0 + cpu_off
+                    end = start + ct.unit_time
+                    cpu_off = cpu_off + ct.unit_time
+                    if trace is not None:
+                        trace.add(TraceEvent(kind="compute", node=node,
+                                             start=start, end=end,
+                                             item=ct.output))
+                    land(node, out, end)
+
+    horizon = n_periods * T
+    violations = validate_one_port(trace) if trace is not None else []
+    if trace is not None:
+        for item, times in delivery_times.items():
+            node = schedule.deliveries[item]
+            for t in times:
+                trace.add(TraceEvent(kind="delivery", node=node, start=t,
+                                     end=t, item=item))
+    return SimulationResult(schedule=schedule, periods=n_periods,
+                            horizon=horizon, delivery_times=delivery_times,
+                            trace=trace, errors=errors,
+                            one_port_violations=violations)
+
+
+# ----------------------------------------------------------------------
+# convenience wrappers
+# ----------------------------------------------------------------------
+
+def simulate_scatter(schedule: PeriodicSchedule, problem, n_periods: int,
+                     record_trace: bool = True) -> SimulationResult:
+    """Replay a scatter schedule: source supplies ``(k, seq)`` payloads and
+    each delivery is checked for content and order."""
+    supplies = {}
+    for item in schedule.deliveries:
+        # item == ("msg", k): infinite supply at the source
+        supplies[(problem.source, item)] = (lambda it: (lambda seq: (it, seq)))(item)
+    expected = lambda item, seq: (item, seq)
+    return simulate_schedule(schedule, supplies, n_periods,
+                             expected=expected, record_trace=record_trace)
+
+
+def simulate_gossip(schedule: PeriodicSchedule, problem, n_periods: int,
+                    record_trace: bool = True) -> SimulationResult:
+    """Replay a gossip schedule (supply at each emitting source)."""
+    supplies = {}
+    for item in schedule.deliveries:
+        _tag, k, _l = item  # ("msg", k, l)
+        supplies[(k, item)] = (lambda it: (lambda seq: (it, seq)))(item)
+    expected = lambda item, seq: (item, seq)
+    return simulate_schedule(schedule, supplies, n_periods,
+                             expected=expected, record_trace=record_trace)
+
+
+def simulate_reduce(schedule: PeriodicSchedule, problem, n_periods: int,
+                    op=SeqConcat, record_trace: bool = True) -> SimulationResult:
+    """Replay a reduce schedule with a non-commutative operator.
+
+    Leaf values are stamped per tree; every delivered ``v[0, n-1]`` must
+    equal the sequential left-to-right reference reduction.
+    """
+    n = problem.n_values
+    items = set()
+    for slot in schedule.slots:
+        for tr in slot.transfers:
+            items.add(tr.item)
+    for node, tasks in schedule.compute.items():
+        for ct in tasks:
+            items.add(ct.output)
+            items.update(ct.inputs)
+    supplies = {}
+    for item in items:
+        tag, interval, _tree = item
+        if tag == "val" and interval[0] == interval[1]:
+            j = interval[0]
+            supplies[(problem.owner(j), item)] = \
+                (lambda jj: (lambda seq: op.leaf(jj, seq)))(j)
+    expected = lambda item, seq: op.expected(n, seq)
+    return simulate_schedule(schedule, supplies, n_periods, combine=op.combine,
+                             expected=expected, record_trace=record_trace)

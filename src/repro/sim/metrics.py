@@ -1,0 +1,37 @@
+"""Throughput estimation from completion records."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def completions_per_horizon(times: Sequence[object], horizon) -> int:
+    """Operations completed strictly within ``[0, horizon]``."""
+    return sum(1 for t in times if t <= horizon)
+
+
+def steady_throughput(times: Sequence[object], skip_fraction: float = 0.25) -> float:
+    """Steady-state rate estimated from completion times.
+
+    Skips the first ``skip_fraction`` of completions (pipeline warm-up) and
+    returns ``ops / elapsed`` over the remainder.  Returns 0.0 with fewer
+    than two usable samples.
+    """
+    times = sorted(float(t) for t in times)
+    if len(times) < 2:
+        return 0.0
+    start = int(len(times) * skip_fraction)
+    if start >= len(times) - 1:
+        start = max(0, len(times) - 2)
+    window = times[start:]
+    elapsed = window[-1] - window[0]
+    if elapsed <= 0:
+        return 0.0
+    return (len(window) - 1) / elapsed
+
+
+def efficiency(measured: float, bound: float) -> float:
+    """measured / bound, clamped into [0, 1+eps] for reporting."""
+    if bound <= 0:
+        return 0.0
+    return measured / bound

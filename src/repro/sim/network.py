@@ -1,0 +1,90 @@
+"""Greedy one-port resource timelines.
+
+The makespan-oriented baselines (direct scatter, flat-tree and binary-tree
+reduce) are *dynamic* algorithms, not periodic schedules, so they are
+simulated with explicit resources: per-node send port, receive port and CPU.
+Operations are placed greedily at the earliest instant when the message is
+ready and both ports (or the CPU) are free — classical list scheduling,
+which is how such heuristics are actually run.
+
+This is deliberately conservative: ports are granted in request order
+(FIFO), like a network stack would.  The steady-state schedules never go
+through this module — they are replayed exactly by
+:mod:`repro.sim.executor` — so LP-vs-baseline comparisons give baselines
+their natural execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.platform.graph import NodeId, PlatformGraph
+from repro.sim.trace import Trace, TraceEvent
+
+
+@dataclass
+class _Timeline:
+    """Busy intervals of one resource, granted FIFO."""
+
+    free_at: object = 0
+
+    def book(self, ready, duration) -> Tuple[object, object]:
+        start = self.free_at if self.free_at > ready else ready
+        end = start + duration
+        self.free_at = end
+        return start, end
+
+
+class OnePortNetwork:
+    """One-port simulator with greedy FIFO resource booking."""
+
+    def __init__(self, platform: PlatformGraph, record_trace: bool = True) -> None:
+        self.platform = platform
+        self.send_port: Dict[NodeId, _Timeline] = {n: _Timeline() for n in platform.nodes()}
+        self.recv_port: Dict[NodeId, _Timeline] = {n: _Timeline() for n in platform.nodes()}
+        self.cpu: Dict[NodeId, _Timeline] = {n: _Timeline() for n in platform.nodes()}
+        self.trace: Optional[Trace] = Trace() if record_trace else None
+
+    def transfer(self, src: NodeId, dst: NodeId, size, ready) -> object:
+        """Ship ``size`` units over edge ``(src, dst)`` once both ports free.
+
+        Returns the arrival time.  Booking is joint: the transfer starts at
+        the earliest instant both the sender's send port and the receiver's
+        receive port are available (and the data is ready).
+        """
+        cost = self.platform.cost(src, dst)
+        duration = size * cost
+        start = ready
+        if self.send_port[src].free_at > start:
+            start = self.send_port[src].free_at
+        if self.recv_port[dst].free_at > start:
+            start = self.recv_port[dst].free_at
+        end = start + duration
+        self.send_port[src].free_at = end
+        self.recv_port[dst].free_at = end
+        if self.trace is not None:
+            self.trace.add(TraceEvent(kind="send", node=src, peer=dst,
+                                      start=start, end=end))
+        return end
+
+    def route_transfer(self, path: List[NodeId], size, ready) -> object:
+        """Store-and-forward along ``path``; returns final arrival time."""
+        t = ready
+        for u, v in zip(path, path[1:]):
+            t = self.transfer(u, v, size, t)
+        return t
+
+    def compute(self, node: NodeId, duration, ready) -> object:
+        """Run one task of length ``duration`` on ``node``'s single CPU."""
+        start, end = self.cpu[node].book(ready, duration)
+        if self.trace is not None:
+            self.trace.add(TraceEvent(kind="compute", node=node,
+                                      start=start, end=end))
+        return end
+
+    def makespan(self) -> object:
+        tl = [t.free_at for t in self.send_port.values()]
+        tl += [t.free_at for t in self.recv_port.values()]
+        tl += [t.free_at for t in self.cpu.values()]
+        return max(tl) if tl else 0

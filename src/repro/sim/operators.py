@@ -1,0 +1,76 @@
+"""Reduction operators for correctness validation.
+
+The paper is explicit that ``⊕`` is associative but **non-commutative** —
+schedules may re-associate partial results but must never swap operands.
+Validating simulated reductions therefore needs an operator where operand
+order is observable.  :class:`SeqConcat` is sequence concatenation: the
+reduction of stamped values ``v_j = [(j, stamp)]`` is correct iff the final
+value is exactly ``[(0, stamp), (1, stamp), ..., (n-1, stamp)]`` — any
+reordering, duplication or loss is caught.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+class SeqConcat:
+    """Associative, non-commutative: tuple concatenation."""
+
+    identity: Tuple = ()
+
+    @staticmethod
+    def combine(left: Tuple, right: Tuple) -> Tuple:
+        return tuple(left) + tuple(right)
+
+    @staticmethod
+    def leaf(rank: int, stamp: int) -> Tuple:
+        return ((rank, stamp),)
+
+    @staticmethod
+    def expected(n: int, stamp: int) -> Tuple:
+        return tuple((j, stamp) for j in range(n))
+
+
+class MatMul2x2Mod:
+    """Associative, non-commutative: 2x2 integer matrix product mod p.
+
+    A second operator with different algebra, for property tests — a
+    schedule bug that happens to preserve concatenation order cannot hide
+    from both.
+    """
+
+    prime = 1_000_003
+    identity = (1, 0, 0, 1)
+
+    @classmethod
+    def combine(cls, a, b):
+        a11, a12, a21, a22 = a
+        b11, b12, b21, b22 = b
+        p = cls.prime
+        return ((a11 * b11 + a12 * b21) % p,
+                (a11 * b12 + a12 * b22) % p,
+                (a21 * b11 + a22 * b21) % p,
+                (a21 * b12 + a22 * b22) % p)
+
+    @classmethod
+    def leaf(cls, rank: int, stamp: int):
+        # distinct non-commuting matrices per (rank, stamp)
+        return (1, (rank + 1) % cls.prime, (stamp + 2) % cls.prime, 1)
+
+    @classmethod
+    def expected(cls, n: int, stamp: int):
+        acc = cls.identity
+        for j in range(n):
+            acc = cls.combine(acc, cls.leaf(j, stamp))
+        return acc
+
+
+def noncommutative_reduce(values: Sequence, op=SeqConcat):
+    """Sequential left-to-right reference reduction."""
+    if not values:
+        return op.identity
+    acc = values[0]
+    for v in values[1:]:
+        acc = op.combine(acc, v)
+    return acc

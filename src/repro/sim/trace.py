@@ -1,0 +1,119 @@
+"""Execution traces and one-port invariant validation.
+
+Every simulation records :class:`TraceEvent` rows; :func:`validate_one_port`
+then proves (by interval sweep) that the executed schedule never had a node
+sending twice at once, receiving twice at once, or computing two tasks at
+once — i.e. that the library's schedules actually live inside the model the
+LP bounds apply to.  A schedule whose trace validates and whose measured
+throughput approaches ``TP(G)`` is the reproduction's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed action.  ``kind`` in {"send", "compute", "delivery"}.
+
+    For sends, ``node`` is the sender and ``peer`` the receiver; both ports
+    are busy over ``[start, end)``.  Deliveries are instantaneous markers.
+    """
+
+    kind: str
+    node: NodeId
+    start: object
+    end: object
+    peer: Optional[NodeId] = None
+    item: object = None
+
+    def duration(self):
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Ordered container of events with small query helpers."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def sends(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "send"]
+
+    def computes(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "compute"]
+
+    def deliveries(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "delivery"]
+
+    def horizon(self):
+        return max((e.end for e in self.events), default=0)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _overlaps(intervals: List[Tuple[object, object]]) -> List[str]:
+    bad = []
+    intervals = sorted(intervals)
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        if s2 < e1:  # touching endpoints are fine (half-open intervals)
+            bad.append(f"[{s1},{e1}) overlaps [{s2},{e2})")
+    return bad
+
+
+def validate_one_port(trace: Trace) -> List[str]:
+    """Check the three one-port invariants of Section 2 on a trace.
+
+    Returns human-readable violations (empty list == valid):
+
+    - a processor initiates at most one send at a time,
+    - a processor initiates at most one receive at a time,
+    - a processor executes at most one computation at a time (single CPU;
+      computation/communication overlap is allowed and expected).
+    """
+    send_busy: Dict[NodeId, List[Tuple[object, object]]] = {}
+    recv_busy: Dict[NodeId, List[Tuple[object, object]]] = {}
+    cpu_busy: Dict[NodeId, List[Tuple[object, object]]] = {}
+    for e in trace.events:
+        if e.duration() == 0:
+            continue
+        if e.kind == "send":
+            send_busy.setdefault(e.node, []).append((e.start, e.end))
+            recv_busy.setdefault(e.peer, []).append((e.start, e.end))
+        elif e.kind == "compute":
+            cpu_busy.setdefault(e.node, []).append((e.start, e.end))
+    bad: List[str] = []
+    for label, table in (("send", send_busy), ("recv", recv_busy),
+                         ("cpu", cpu_busy)):
+        for node, intervals in table.items():
+            for msg in _overlaps(intervals):
+                bad.append(f"{label}@{node!r}: {msg}")
+    return bad
+
+
+def port_utilization(trace: Trace, horizon=None) -> Dict[Tuple[str, NodeId], float]:
+    """Busy fraction per (port kind, node) over ``horizon``.
+
+    Useful to identify the saturated resource that pins the steady-state
+    throughput (the LP's binding constraints).
+    """
+    if horizon is None:
+        horizon = trace.horizon()
+    if not horizon:
+        return {}
+    busy: Dict[Tuple[str, NodeId], object] = {}
+    for e in trace.events:
+        if e.kind == "send":
+            busy[("send", e.node)] = busy.get(("send", e.node), 0) + e.duration()
+            busy[("recv", e.peer)] = busy.get(("recv", e.peer), 0) + e.duration()
+        elif e.kind == "compute":
+            busy[("cpu", e.node)] = busy.get(("cpu", e.node), 0) + e.duration()
+    return {k: float(v) / float(horizon) for k, v in busy.items()}

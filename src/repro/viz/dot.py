@@ -1,0 +1,32 @@
+"""Graphviz DOT export of platforms (for eyeballing reconstructions)."""
+
+from __future__ import annotations
+
+from repro.platform.graph import PlatformGraph
+
+
+def platform_to_dot(g: PlatformGraph, undirected_pairs: bool = True) -> str:
+    """DOT text; symmetric edge pairs collapse to one undirected-looking
+    edge (``dir=none``) when ``undirected_pairs`` is set."""
+    lines = [f'digraph "{g.name}" {{']
+    for n in g.nodes():
+        s = g.speed(n)
+        if g.is_compute(n):
+            lines.append(f'  "{n}" [shape=box,style=filled,fillcolor=gray,'
+                         f'label="{n}\\nspeed {s}"];')
+        else:
+            lines.append(f'  "{n}" [shape=circle];')
+    done = set()
+    for e in g.edges():
+        if (e.src, e.dst) in done:
+            continue
+        symmetric = (undirected_pairs and g.has_edge(e.dst, e.src)
+                     and g.cost(e.dst, e.src) == e.cost)
+        attrs = f'label="{e.cost}"'
+        if symmetric:
+            attrs += ",dir=none"
+            done.add((e.dst, e.src))
+        lines.append(f'  "{e.src}" -> "{e.dst}" [{attrs}];')
+        done.add((e.src, e.dst))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""ASCII Gantt chart of a periodic schedule.
+
+Renders one period, one row per resource (send/recv port per node, plus CPU
+rows when computations exist), with matching-slot boundaries marked — the
+textual twin of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.core.schedule import PeriodicSchedule
+
+
+def ascii_gantt(schedule: PeriodicSchedule, width: int = 72) -> str:
+    """Render one period of ``schedule`` as an ASCII chart.
+
+    Each row shows the busy stretches of one sender port as ``#`` (with the
+    receiving peer noted in the legend); slot boundaries are ``|`` marks on
+    the axis row.  ``width`` characters span one period.
+    """
+    period = Fraction(schedule.period)
+    if period <= 0:
+        return "(empty schedule)"
+    scale = Fraction(width) / period
+
+    def col(t) -> int:
+        c = int(Fraction(t) * scale)
+        return min(c, width - 1)
+
+    # collect per-pair busy intervals
+    rows: Dict[str, List[Tuple[object, object]]] = {}
+    offset = Fraction(0)
+    boundaries = [0]
+    for slot in schedule.slots:
+        pair_off: Dict[Tuple[object, object], object] = {}
+        for t in slot.transfers:
+            key = f"{t.src} -> {t.dst}"
+            start = offset + pair_off.get((t.src, t.dst), Fraction(0))
+            end = start + Fraction(t.time)
+            pair_off[(t.src, t.dst)] = pair_off.get((t.src, t.dst), Fraction(0)) + Fraction(t.time)
+            rows.setdefault(key, []).append((start, end))
+        offset += Fraction(slot.duration)
+        boundaries.append(offset)
+    for node, tasks in schedule.compute.items():
+        cpu_off = Fraction(0)
+        key = f"cpu {node}"
+        for ct in tasks:
+            total = Fraction(ct.count) * Fraction(ct.unit_time)
+            rows.setdefault(key, []).append((cpu_off, cpu_off + total))
+            cpu_off += total
+
+    label_w = max((len(k) for k in rows), default=5) + 1
+    lines = [f"period = {schedule.period}   throughput = {schedule.throughput} "
+             f"({schedule.ops_per_period()} ops/period)"]
+    axis = [" "] * width
+    for b in boundaries:
+        axis[col(b) if b < period else width - 1] = "|"
+    lines.append(" " * label_w + "".join(axis))
+    for key in sorted(rows):
+        bar = [" "] * width
+        for (s, e) in rows[key]:
+            c0, c1 = col(s), col(e)
+            if c1 <= c0:
+                c1 = c0 + 1
+            for c in range(c0, min(c1, width)):
+                bar[c] = "#"
+        lines.append(key.ljust(label_w) + "".join(bar))
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Fixed-width result tables for benchmark output.
+
+Benchmarks print paper-reported values next to measured ones; this keeps
+the formatting in one place so every experiment reads the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with a header rule; cells stringified as-is."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

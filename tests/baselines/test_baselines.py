@@ -1,0 +1,131 @@
+"""Unit tests for baseline algorithms — and the paper's qualitative claims:
+the steady-state LP throughput dominates every baseline."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.reduce_baselines import (
+    best_single_tree_throughput, binary_tree_reduce, flat_tree_reduce,
+    single_tree_resource_load,
+)
+from repro.baselines.scatter_baselines import direct_scatter, spt_scatter_throughput
+from repro.core.reduce_op import ReduceProblem, solve_reduce
+from repro.core.scatter import ScatterProblem, solve_scatter
+from repro.platform.examples import (
+    figure2_platform, figure2_targets, figure6_platform,
+)
+from repro.platform.generators import random_connected
+from repro.sim.operators import MatMul2x2Mod
+
+
+class TestDirectScatter:
+    def test_runs_and_respects_one_port(self, fig2_problem):
+        run = direct_scatter(fig2_problem, n_ops=30)
+        assert run.correct
+        assert len(run.completion_times) == 30
+
+    def test_completion_times_monotone(self, fig2_problem):
+        run = direct_scatter(fig2_problem, n_ops=20)
+        assert run.completion_times == sorted(run.completion_times)
+
+    def test_lp_dominates_direct(self, fig2_problem, fig2_solution):
+        run = direct_scatter(fig2_problem, n_ops=60)
+        assert run.throughput <= float(fig2_solution.throughput) + 1e-9
+
+    def test_random_platform(self):
+        g = random_connected(7, extra_edges=3, seed=3)
+        nodes = g.nodes()
+        problem = ScatterProblem(g, nodes[0], nodes[1:4])
+        run = direct_scatter(problem, n_ops=40)
+        assert run.correct and run.throughput > 0
+
+
+class TestSptScatter:
+    def test_single_route_never_beats_lp(self, fig2_problem, fig2_solution):
+        spt_tp = spt_scatter_throughput(fig2_problem)
+        assert spt_tp <= fig2_solution.throughput
+
+    def test_fig2_single_route_equals_half(self, fig2_problem):
+        # In fig2, the SPT routes m0 via Pa and m1 via Pb; the source port
+        # is the binding resource either way, so TP stays 1/2 — multi-route
+        # helps only when a relay/edge binds first.
+        assert spt_scatter_throughput(fig2_problem) == Fraction(1, 2)
+
+    def test_multi_route_strictly_helps_when_relays_bind(self):
+        # Two targets behind relay `a`; relay `b` offers a slow detour to
+        # t2.  The SPT routes everything through `a` (its out-port binds at
+        # TP = 1/2); the LP offloads part of t2's traffic to `b` and reaches
+        # TP = 3/5.
+        from repro.platform.graph import PlatformGraph
+
+        g = PlatformGraph()
+        for n in ("s", "a", "b", "t1", "t2"):
+            g.add_node(n, 1)
+        g.add_edge("s", "a", Fraction(1, 4))
+        g.add_edge("s", "b", Fraction(1, 4))
+        g.add_edge("a", "t1", 1)
+        g.add_edge("a", "t2", 1)
+        g.add_edge("b", "t2", 3)
+        problem = ScatterProblem(g, "s", ["t1", "t2"])
+        full = solve_scatter(problem, backend="exact").throughput
+        spt = spt_scatter_throughput(problem)
+        assert full == Fraction(3, 5)
+        assert spt == Fraction(1, 2)
+        assert full > spt
+
+
+class TestFlatTreeReduce:
+    def test_correct_results(self, fig6_problem):
+        run = flat_tree_reduce(fig6_problem, n_ops=25)
+        assert run.correct
+
+    def test_lp_dominates_flat(self, fig6_problem, fig6_solution):
+        run = flat_tree_reduce(fig6_problem, n_ops=60)
+        assert run.throughput <= float(fig6_solution.throughput) + 1e-9
+
+    def test_matmul_operator(self, fig6_problem):
+        run = flat_tree_reduce(fig6_problem, n_ops=10, op=MatMul2x2Mod)
+        assert run.correct
+
+
+class TestBinaryTreeReduce:
+    def test_correct_results(self, fig6_problem):
+        run = binary_tree_reduce(fig6_problem, n_ops=25)
+        assert run.correct
+
+    def test_lp_dominates_binary(self, fig6_problem, fig6_solution):
+        run = binary_tree_reduce(fig6_problem, n_ops=60)
+        assert run.throughput <= float(fig6_solution.throughput) + 1e-9
+
+    def test_handles_target_not_root_of_tree(self):
+        g = figure6_platform()
+        problem = ReduceProblem(g, participants=[1, 2, 0], target=0)
+        run = binary_tree_reduce(problem, n_ops=15)
+        assert run.correct
+
+
+class TestSingleTree:
+    def test_resource_load_accounts_everything(self, fig6_solution):
+        tree = fig6_solution.extract()[0]
+        load = single_tree_resource_load(tree, fig6_solution.problem)
+        assert sum(1 for (kind, _n) in load if kind == "cpu") >= 1
+        assert all(v > 0 for v in load.values())
+
+    def test_single_tree_never_beats_lp(self, fig6_solution):
+        rate, tree = best_single_tree_throughput(
+            fig6_solution.extract(), fig6_solution.problem)
+        assert tree is not None
+        assert rate <= fig6_solution.throughput
+
+    def test_multi_tree_strictly_helps_on_fig9(self, fig9_solution):
+        """Figures 11-12: the optimum mixes two trees; either alone is
+        strictly worse."""
+        trees = fig9_solution.extract()
+        assert len(trees) >= 2
+        rate, _ = best_single_tree_throughput(trees, fig9_solution.problem)
+        assert float(rate) < float(fig9_solution.throughput)
+
+    def test_empty_tree_list(self, fig6_solution):
+        rate, tree = best_single_tree_throughput([], fig6_solution.problem)
+        assert rate == 0 and tree is None

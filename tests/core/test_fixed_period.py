@@ -1,0 +1,86 @@
+"""Unit tests for the Section 4.6 fixed-period approximation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.fixed_period import (
+    fixed_period_approximation, fixed_period_paths,
+)
+from repro.core.trees import ReductionTree
+
+
+def mk_tree(w):
+    return ReductionTree(weight=w, transfers=(), tasks=())
+
+
+class TestTreeRounding:
+    def test_exact_weights_survive_matching_period(self):
+        trees = [mk_tree(Fraction(1, 9)), mk_tree(Fraction(1, 9))]
+        fp = fixed_period_approximation(trees, period=9)
+        assert fp.throughput == Fraction(2, 9)
+        assert fp.loss == 0
+
+    def test_rounding_down(self):
+        trees = [mk_tree(Fraction(1, 3))]
+        fp = fixed_period_approximation(trees, period=2)
+        # floor(2/3) = 0 -> tree dropped
+        assert fp.throughput == 0
+        assert fp.loss == Fraction(1, 3)
+
+    def test_loss_within_prop4_bound(self):
+        trees = [mk_tree(Fraction(2, 7)), mk_tree(Fraction(3, 11)),
+                 mk_tree(Fraction(1, 13))]
+        for period in (5, 10, 50, 100, 1000):
+            fp = fixed_period_approximation(trees, period=period)
+            assert fp.loss_within_bound(), (period, fp.loss, fp.bound)
+
+    def test_convergence_with_period(self):
+        trees = [mk_tree(Fraction(2, 7)), mk_tree(Fraction(3, 11))]
+        losses = [fixed_period_approximation(trees, period=p).loss
+                  for p in (10, 100, 1000, 10000)]
+        assert all(float(a) >= float(b) - 1e-12 for a, b in zip(losses, losses[1:]))
+        assert float(losses[-1]) < 1e-3
+
+    def test_float_weights_accepted(self):
+        trees = [mk_tree(0.3333), mk_tree(0.1111)]
+        fp = fixed_period_approximation(trees, period=100,
+                                        original_throughput=0.4444)
+        assert fp.throughput == Fraction(33, 100) + Fraction(11, 100)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_period_approximation([mk_tree(1)], period=0)
+
+    def test_rounded_rates_are_exact(self):
+        fp = fixed_period_approximation([mk_tree(0.123456)], period=360)
+        for t in fp.items:
+            assert isinstance(t.weight, Fraction)
+            assert t.weight.denominator <= 360
+
+
+class TestPathRounding:
+    def test_common_throughput_is_min(self):
+        paths = {
+            "k1": [(["s", "a", "k1"], Fraction(1, 2))],
+            "k2": [(["s", "k2"], Fraction(1, 3))],
+        }
+        fp = fixed_period_paths(paths, period=6)
+        assert fp.throughput == Fraction(1, 3)
+
+    def test_surplus_trimmed(self):
+        paths = {
+            "k1": [(["s", "k1"], Fraction(1, 2)), (["s", "a", "k1"], Fraction(1, 4))],
+            "k2": [(["s", "k2"], Fraction(1, 4))],
+        }
+        fp = fixed_period_paths(paths, period=4)
+        per_type = {}
+        for (key, _p, w) in fp.items:
+            per_type[key] = per_type.get(key, 0) + w
+        assert per_type["k1"] == per_type["k2"] == Fraction(1, 4)
+
+    def test_rounded_weights_multiples_of_inverse_period(self):
+        paths = {"k": [(["s", "k"], 0.777)]}
+        fp = fixed_period_paths(paths, period=9)
+        for (_k, _p, w) in fp.items:
+            assert (w * 9).denominator == 1

@@ -1,0 +1,107 @@
+"""Unit tests for flow cleaning (cycle removal / path decomposition)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.flowclean import (
+    clean_commodity, decompose_paths, divergence, paths_to_flow, remove_cycles,
+)
+
+
+class TestRemoveCycles:
+    def test_pure_cycle_vanishes(self):
+        flow = {("a", "b"): 2, ("b", "c"): 2, ("c", "a"): 2}
+        assert remove_cycles(flow) == {}
+
+    def test_acyclic_flow_unchanged(self):
+        flow = {("s", "a"): 3, ("a", "t"): 3}
+        assert remove_cycles(flow) == flow
+
+    def test_partial_cycle_cancelled(self):
+        # path s->a->t of value 1 superposed with cycle a->b->a of value 2
+        flow = {("s", "a"): 1, ("a", "t"): 1, ("a", "b"): 2, ("b", "a"): 2}
+        out = remove_cycles(flow)
+        assert out == {("s", "a"): 1, ("a", "t"): 1}
+
+    def test_divergence_preserved(self):
+        flow = {("s", "a"): 5, ("a", "t"): 3, ("a", "b"): 2,
+                ("b", "a"): 0, ("b", "t"): 2}
+        flow = {k: v for k, v in flow.items() if v}
+        before = divergence(flow)
+        after = divergence(remove_cycles(flow))
+        for node in set(before) | set(after):
+            assert before.get(node, 0) == after.get(node, 0)
+
+    def test_two_node_cycle(self):
+        flow = {("a", "b"): Fraction(1, 3), ("b", "a"): Fraction(1, 3)}
+        assert remove_cycles(flow) == {}
+
+    def test_nested_cycles(self):
+        flow = {("a", "b"): 2, ("b", "a"): 1, ("b", "c"): 1, ("c", "a"): 1}
+        out = remove_cycles(flow)
+        assert out == {}
+
+
+class TestDecomposePaths:
+    def test_single_path(self):
+        flow = {("s", "a"): 2, ("a", "t"): 2}
+        paths = decompose_paths(flow, "s", "t")
+        assert paths == [(["s", "a", "t"], 2)]
+
+    def test_two_route_split(self):
+        flow = {("s", "a"): 1, ("a", "t"): 1, ("s", "b"): 2, ("b", "t"): 2}
+        paths = decompose_paths(flow, "s", "t")
+        assert sum(w for _, w in paths) == 3
+        assert {tuple(p) for p, _ in paths} == {("s", "a", "t"), ("s", "b", "t")}
+
+    def test_demand_caps_extraction(self):
+        flow = {("s", "t"): 5}
+        paths = decompose_paths(flow, "s", "t", demand=2)
+        assert paths == [(["s", "t"], 2)]
+
+    def test_junk_flow_ignored(self):
+        # genuine path s->t plus junk t->x
+        flow = {("s", "t"): 1, ("t", "x"): 7}
+        paths = decompose_paths(flow, "s", "t")
+        assert paths == [(["s", "t"], 1)]
+
+    def test_paths_to_flow_roundtrip(self):
+        paths = [(["s", "a", "t"], Fraction(1, 2)), (["s", "t"], Fraction(1, 3))]
+        flow = paths_to_flow(paths)
+        assert flow[("s", "a")] == Fraction(1, 2)
+        assert flow[("s", "t")] == Fraction(1, 3)
+        back = decompose_paths(flow, "s", "t")
+        assert sum(w for _, w in back) == Fraction(5, 6)
+
+
+class TestCleanCommodity:
+    def test_drops_cycles_and_junk(self):
+        flow = {("s", "a"): 1, ("a", "t"): 1,       # genuine
+                ("x", "y"): 3, ("y", "x"): 3,       # cycle
+                ("t", "z"): 2, ("z", "s"): 2}       # junk return path
+        cleaned, paths = clean_commodity(flow, "s", "t", demand=1)
+        assert cleaned == {("s", "a"): 1, ("a", "t"): 1}
+        assert len(paths) == 1
+
+    def test_insufficient_flow_raises(self):
+        with pytest.raises(ValueError):
+            clean_commodity({("s", "t"): 1}, "s", "t", demand=2)
+
+    def test_exact_fractions_survive(self):
+        flow = {("s", "t"): Fraction(2, 9)}
+        cleaned, _ = clean_commodity(flow, "s", "t", demand=Fraction(2, 9))
+        assert cleaned[("s", "t")] == Fraction(2, 9)
+
+    def test_float_eps_tolerance(self):
+        flow = {("s", "t"): 0.5, ("t", "s"): 1e-15}
+        cleaned, _ = clean_commodity(flow, "s", "t", demand=0.5 - 1e-12,
+                                     eps=1e-12)
+        assert ("t", "s") not in cleaned
+
+
+class TestDivergence:
+    def test_divergence_signs(self):
+        flow = {("s", "a"): 2, ("a", "t"): 2}
+        d = divergence(flow)
+        assert d["s"] == 2 and d["t"] == -2 and d["a"] == 0

@@ -1,0 +1,80 @@
+"""Unit tests for the interval/task algebra."""
+
+import pytest
+
+from repro.core import intervals as iv
+
+
+class TestEnumeration:
+    def test_interval_count_formula(self):
+        for n in range(1, 8):
+            assert len(iv.all_intervals(n)) == iv.interval_count(n)
+
+    def test_task_count_formula(self):
+        for n in range(2, 8):
+            assert len(iv.all_tasks(n)) == iv.task_count(n)
+
+    def test_n3_tasks_explicit(self):
+        assert set(iv.all_tasks(3)) == {(0, 0, 1), (0, 0, 2), (0, 1, 2), (1, 1, 2)}
+
+    def test_zero_values_rejected(self):
+        with pytest.raises(ValueError):
+            iv.all_intervals(0)
+
+    def test_task_ordering_invariants(self):
+        for (k, l, m) in iv.all_tasks(6):
+            assert 0 <= k <= l < m <= 5
+
+
+class TestIncidence:
+    def test_task_output_and_inputs(self):
+        assert iv.task_output((1, 2, 4)) == (1, 4)
+        assert iv.task_inputs((1, 2, 4)) == ((1, 2), (3, 4))
+
+    def test_producers_of_interval(self):
+        assert iv.tasks_producing((1, 3)) == [(1, 1, 3), (1, 2, 3)]
+        assert iv.tasks_producing((2, 2)) == []
+
+    def test_left_consumers(self):
+        assert iv.tasks_consuming_left((1, 2), 5) == [(1, 2, 3), (1, 2, 4)]
+
+    def test_right_consumers(self):
+        assert iv.tasks_consuming_right((2, 4)) == [(0, 1, 4), (1, 1, 4)]
+
+    def test_full_interval_has_no_consumers(self):
+        n = 5
+        assert iv.tasks_consuming(iv.full_interval(n), n) == []
+
+    def test_consumers_and_producers_are_consistent(self):
+        # if T consumes I on the left, I is T's left input
+        n = 6
+        for interval in iv.all_intervals(n):
+            for t in iv.tasks_consuming_left(interval, n):
+                assert iv.task_inputs(t)[0] == interval
+            for t in iv.tasks_consuming_right(interval):
+                assert iv.task_inputs(t)[1] == interval
+
+    def test_every_task_appears_in_its_inputs_consumer_lists(self):
+        n = 5
+        for t in iv.all_tasks(n):
+            left, right = iv.task_inputs(t)
+            assert t in iv.tasks_consuming_left(left, n)
+            assert t in iv.tasks_consuming_right(right)
+
+
+class TestPredicates:
+    def test_is_leaf(self):
+        assert iv.is_leaf((3, 3)) and not iv.is_leaf((3, 4))
+
+    def test_full_interval(self):
+        assert iv.full_interval(4) == (0, 3)
+
+    def test_subdivides(self):
+        assert iv.subdivides((0, 5), (2, 3))
+        assert not iv.subdivides((2, 3), (0, 5))
+        assert iv.subdivides((1, 4), (1, 4))
+
+    def test_validate_tree_intervals_tiling(self):
+        assert iv.validate_tree_intervals([(0, 1), (2, 2), (3, 4)], 5)
+        assert not iv.validate_tree_intervals([(0, 1), (1, 2)], 3)  # overlap
+        assert not iv.validate_tree_intervals([(0, 0)], 2)  # gap

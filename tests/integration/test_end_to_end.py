@@ -1,0 +1,131 @@
+"""Integration tests: full pipelines across modules, including the paper's
+headline results."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.reduce_baselines import best_single_tree_throughput
+from repro.core.fixed_period import fixed_period_approximation
+from repro.core.gossip import GossipProblem, build_gossip_schedule, solve_gossip
+from repro.core.reduce_op import ReduceProblem, solve_reduce
+from repro.core.scatter import ScatterProblem, build_scatter_schedule, solve_scatter
+from repro.core.schedule import build_reduce_schedule
+from repro.core.trees import trees_weight_sum
+from repro.platform.examples import (
+    figure9_participants, figure9_platform, figure9_target,
+)
+from repro.platform.generators import clustered, tiers
+from repro.sim.executor import simulate_gossip, simulate_reduce, simulate_scatter
+from repro.sim.operators import MatMul2x2Mod
+
+
+class TestPaperHeadlines:
+    def test_figure2_throughput(self, fig2_solution):
+        assert fig2_solution.throughput == Fraction(1, 2)
+
+    def test_figure6_throughput(self, fig6_solution):
+        assert fig6_solution.throughput == 1
+
+    def test_figure10_throughput_two_ninths(self, fig9_solution):
+        """The flagship: our Figure 9 reconstruction yields TP = 2/9,
+        exactly the paper's Figure 10 value."""
+        assert fig9_solution.throughput == Fraction(2, 9)
+        assert fig9_solution.exact
+
+    def test_figure11_12_two_equal_trees(self, fig9_solution):
+        trees = fig9_solution.extract()
+        assert len(trees) == 2
+        assert {t.weight for t in trees} == {Fraction(1, 9)}
+
+    def test_figure9_single_tree_is_strictly_worse(self, fig9_solution):
+        rate, _ = best_single_tree_throughput(fig9_solution.extract(),
+                                              fig9_solution.problem)
+        assert rate < Fraction(2, 9)
+
+
+class TestFig9EndToEnd:
+    def test_schedule_simulation_converges(self, fig9_solution):
+        sched = build_reduce_schedule(fig9_solution)
+        assert sched.validate() == []
+        res = simulate_reduce(sched, fig9_solution.problem, n_periods=120,
+                              record_trace=False)
+        assert res.errors == []
+        bound = float(fig9_solution.throughput) * float(res.horizon)
+        assert res.completed_ops() >= 0.7 * bound
+        assert res.completed_ops() <= bound + 1e-9
+
+    def test_fixed_period_rounding_prop4(self, fig9_solution):
+        trees = fig9_solution.extract()
+        for period in (9, 90, 900):
+            fp = fixed_period_approximation(
+                trees, period=period,
+                original_throughput=fig9_solution.throughput)
+            assert fp.loss_within_bound()
+        # at period 9 the 1/9 weights are exactly representable: zero loss
+        assert fixed_period_approximation(trees, period=9).loss == 0
+
+
+class TestGeneratedPlatforms:
+    def test_tiers_reduce_end_to_end(self):
+        g = tiers(seed=5, wan_nodes=3, mans_per_wan=1, lans_per_man=1,
+                  hosts_per_lan=2)
+        hosts = g.compute_nodes()[:4]
+        problem = ReduceProblem(g, hosts, hosts[0], msg_size=2, task_work=10)
+        sol = solve_reduce(problem)
+        assert sol.throughput > 0
+        assert sol.verify(tol=0 if sol.exact else 1e-7) == []
+        trees = sol.extract()
+        total = trees_weight_sum(trees)
+        if sol.exact:
+            assert total == sol.throughput
+        else:
+            assert float(total) == pytest.approx(float(sol.throughput), abs=1e-6)
+
+    def test_clustered_scatter_end_to_end(self):
+        g = clustered(3, 2, seed=2)
+        hosts = g.compute_nodes()
+        problem = ScatterProblem(g, hosts[0], hosts[1:5])
+        sol = solve_scatter(problem, backend="exact")
+        sched = build_scatter_schedule(sol)
+        res = simulate_scatter(sched, problem, n_periods=30)
+        assert res.correct
+        bound = float(sol.throughput) * float(res.horizon)
+        assert res.completed_ops() >= 0.6 * bound
+
+    def test_gossip_on_cluster_pair(self):
+        g = clustered(2, 2, seed=1)
+        hosts = g.compute_nodes()
+        problem = GossipProblem(g, hosts, hosts)
+        sol = solve_gossip(problem, backend="exact")
+        sched = build_gossip_schedule(sol)
+        res = simulate_gossip(sched, problem, n_periods=25)
+        assert res.correct
+
+
+class TestCrossChecks:
+    def test_scatter_tp_equals_gossip_with_one_source(self, fig2_problem):
+        scatter_tp = solve_scatter(fig2_problem, backend="exact").throughput
+        gossip = GossipProblem(fig2_problem.platform, ["Ps"],
+                               ["Ps", "P0", "P1"])
+        gossip_tp = solve_gossip(gossip, backend="exact").throughput
+        assert scatter_tp == gossip_tp
+
+    def test_reduce_order_reversal_symmetric_platform(self, fig6_problem):
+        # the triangle is symmetric between nodes 1 and 2, so reversing
+        # their logical order cannot change the optimum
+        sol_a = solve_reduce(fig6_problem, backend="exact")
+        problem_b = ReduceProblem(fig6_problem.platform,
+                                  participants=[0, 2, 1], target=0)
+        sol_b = solve_reduce(problem_b, backend="exact")
+        assert sol_a.throughput == sol_b.throughput
+
+    def test_noncommutative_correctness_on_fig9_fixed_period(self, fig9_solution):
+        fp = fixed_period_approximation(
+            fig9_solution.extract(), period=9,
+            original_throughput=fig9_solution.throughput)
+        sched = build_reduce_schedule(fig9_solution, trees=fp.items)
+        res = simulate_reduce(sched, fig9_solution.problem, n_periods=80,
+                              op=MatMul2x2Mod, record_trace=False)
+        assert res.errors == []
+        assert res.completed_ops() > 0

@@ -1,0 +1,192 @@
+"""Unit tests for the exact rational simplex."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp.exact_simplex import ExactSimplexSolver
+from repro.lp.model import LinearProgram
+from repro.lp.solution import SolveStatus
+
+
+def solve(lp):
+    return ExactSimplexSolver().solve(lp)
+
+
+class TestBasics:
+    def test_two_variable_max(self):
+        lp = LinearProgram()
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x + 2 * y <= 4)
+        lp.add(3 * x + y <= 6)
+        lp.maximize(x + y)
+        s = solve(lp)
+        assert s.status is SolveStatus.OPTIMAL
+        assert s.objective == Fraction(14, 5)
+        assert s.value(x) == Fraction(8, 5) and s.value(y) == Fraction(6, 5)
+
+    def test_solution_is_exact_fractions(self):
+        lp = LinearProgram()
+        x = lp.var("x")
+        lp.add(3 * x <= 1)
+        lp.maximize(x)
+        s = solve(lp)
+        assert s.exact and s.value(x) == Fraction(1, 3)
+
+    def test_minimization(self):
+        lp = LinearProgram()
+        p, q = lp.var("p"), lp.var("q")
+        lp.add(p + q >= 3)
+        lp.add(p - q == 1)
+        lp.minimize(2 * p + q)
+        s = solve(lp)
+        assert s.objective == 5 and s.value(p) == 2 and s.value(q) == 1
+
+    def test_equality_constraints(self):
+        lp = LinearProgram()
+        u, v = lp.var("u"), lp.var("v")
+        lp.add(u + v == Fraction(1, 2))
+        lp.add(u - v <= Fraction(1, 6))
+        lp.maximize(u)
+        s = solve(lp)
+        assert s.objective == Fraction(1, 3)
+
+    def test_upper_bounds_respected(self):
+        lp = LinearProgram()
+        x = lp.var("x", ub=Fraction(2, 7))
+        lp.maximize(x)
+        s = solve(lp)
+        assert s.objective == Fraction(2, 7)
+
+    def test_nonzero_lower_bounds(self):
+        lp = LinearProgram()
+        x = lp.var("x", lb=2, ub=5)
+        y = lp.var("y")
+        lp.add(x + y <= 6)
+        lp.maximize(y)
+        s = solve(lp)
+        assert s.value(x) == 2 and s.value(y) == 4
+
+    def test_objective_with_constant(self):
+        lp = LinearProgram()
+        x = lp.var("x", ub=1)
+        lp.maximize(x + 10)
+        assert solve(lp).objective == 11
+
+    def test_trivial_lp_no_constraints(self):
+        lp = LinearProgram()
+        x = lp.var("x", ub=3)
+        lp.maximize(2 * x)
+        assert solve(lp).objective == 6
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        lp = LinearProgram()
+        x = lp.var("x", ub=1)
+        lp.add(x >= 2)
+        lp.maximize(x)
+        assert solve(lp).status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_equalities(self):
+        lp = LinearProgram()
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x + y == 1)
+        lp.add(x + y == 2)
+        lp.maximize(x)
+        assert solve(lp).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.var("x")
+        lp.maximize(x)
+        assert solve(lp).status is SolveStatus.UNBOUNDED
+
+    def test_unbounded_with_constraint(self):
+        lp = LinearProgram()
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x - y <= 1)
+        lp.maximize(x)
+        assert solve(lp).status is SolveStatus.UNBOUNDED
+
+    def test_bounded_direction_not_unbounded(self):
+        lp = LinearProgram()
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x - y <= 1)
+        lp.maximize(x - y)  # bounded even though the region is unbounded
+        assert solve(lp).objective == 1
+
+    def test_floats_rejected(self):
+        lp = LinearProgram()
+        x = lp.var("x")
+        lp.add(0.5 * x <= 1)
+        lp.maximize(x)
+        with pytest.raises(ValueError):
+            solve(lp)
+
+
+class TestRobustness:
+    def test_degenerate_lp_terminates(self):
+        # classic degenerate vertex: several constraints meet at one point
+        lp = LinearProgram()
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x + y <= 1)
+        lp.add(x <= 1)
+        lp.add(y <= 1)
+        lp.add(2 * x + 2 * y <= 2)
+        lp.maximize(x + y)
+        assert solve(lp).objective == 1
+
+    def test_redundant_equalities_handled(self):
+        lp = LinearProgram()
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x + y == 1)
+        lp.add(2 * x + 2 * y == 2)  # redundant
+        lp.maximize(x)
+        assert solve(lp).objective == 1
+
+    def test_beale_cycling_instance_terminates(self):
+        # Beale's classical cycling example — Bland's rule must terminate.
+        lp = LinearProgram()
+        x1, x2, x3, x4 = (lp.var(f"x{i}") for i in range(1, 5))
+        lp.add(Fraction(1, 4) * x1 - 60 * x2 - Fraction(1, 25) * x3 + 9 * x4 <= 0)
+        lp.add(Fraction(1, 2) * x1 - 90 * x2 - Fraction(1, 50) * x3 + 3 * x4 <= 0)
+        lp.add(x3 <= 1)
+        lp.maximize(Fraction(3, 4) * x1 - 150 * x2 + Fraction(1, 50) * x3 - 6 * x4)
+        s = solve(lp)
+        assert s.status is SolveStatus.OPTIMAL
+        assert s.objective == Fraction(1, 20)
+
+    def test_solution_feasibility_certificate(self):
+        lp = LinearProgram()
+        x, y, z = lp.var("x"), lp.var("y"), lp.var("z", ub=2)
+        lp.add(x + y + z == 4)
+        lp.add(x - y >= Fraction(1, 3))
+        lp.maximize(y + z)
+        s = solve(lp)
+        assert s.status is SolveStatus.OPTIMAL
+        assert lp.check_feasible(s.values) == []
+
+    def test_larger_random_instance_matches_highs(self):
+        import random
+
+        from repro.lp.highs import HighsSolver
+
+        rng = random.Random(11)
+        lp = LinearProgram()
+        xs = [lp.var(f"x{i}") for i in range(12)]
+        for c in range(18):
+            expr = sum(rng.randint(0, 4) * x for x in xs)
+            lp.add(expr <= rng.randint(5, 30), name=f"c{c}")
+        lp.maximize(sum(rng.randint(1, 5) * x for x in xs))
+        exact = solve(lp)
+        approx = HighsSolver().solve(lp)
+        assert exact.status is SolveStatus.OPTIMAL
+        assert abs(float(exact.objective) - float(approx.objective)) < 1e-6
+
+    def test_iteration_counter_positive(self):
+        lp = LinearProgram()
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x + y <= 2)
+        lp.maximize(x + y)
+        assert solve(lp).iterations >= 1

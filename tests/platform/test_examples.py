@@ -1,0 +1,102 @@
+"""The paper's platforms must match the figures structurally."""
+
+from fractions import Fraction
+
+from repro.platform.examples import (
+    FIGURE9_INDEX, FIGURE9_LINKS, FIGURE9_SPEEDS, figure2_platform,
+    figure2_targets, figure6_platform, figure9_participants,
+    figure9_platform, figure9_target, triangle_platform,
+)
+
+
+class TestFigure2:
+    def test_nodes(self):
+        g = figure2_platform()
+        assert set(g.nodes()) == {"Ps", "Pa", "Pb", "P0", "P1"}
+
+    def test_edge_costs_match_figure(self):
+        g = figure2_platform()
+        assert g.cost("Ps", "Pa") == 1
+        assert g.cost("Ps", "Pb") == 1
+        assert g.cost("Pa", "P0") == Fraction(2, 3)
+        assert g.cost("Pb", "P0") == Fraction(4, 3)
+        assert g.cost("Pb", "P1") == Fraction(4, 3)
+
+    def test_edges_are_downward_only(self):
+        g = figure2_platform()
+        assert not g.has_edge("Pa", "Ps")
+        assert not g.has_edge("P0", "Pa")
+
+    def test_two_routes_to_p0_one_to_p1(self):
+        g = figure2_platform()
+        assert set(g.predecessors("P0")) == {"Pa", "Pb"}
+        assert g.predecessors("P1") == ["Pb"]
+
+    def test_targets(self):
+        assert figure2_targets() == ["P0", "P1"]
+
+
+class TestFigure6:
+    def test_triangle_fully_connected_unit_costs(self):
+        g = figure6_platform()
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert g.cost(i, j) == 1
+
+    def test_node0_twice_as_fast(self):
+        g = figure6_platform()
+        assert g.speed(0) == 2 and g.speed(1) == 1 and g.speed(2) == 1
+
+    def test_triangle_platform_parametric(self):
+        g = triangle_platform(speeds=(3, 3, 3), cost=2)
+        assert g.speed(1) == 3 and g.cost(0, 2) == 2
+
+
+class TestFigure9:
+    def test_counts(self):
+        g = figure9_platform()
+        assert len(g) == 14
+        assert len(g.compute_nodes()) == 8
+        assert len(g.routers()) == 6
+        assert g.num_edges() == 2 * 17
+
+    def test_speeds_match_figure(self):
+        g = figure9_platform()
+        for node, s in FIGURE9_SPEEDS.items():
+            assert g.speed(node) == s
+
+    def test_costs_are_inverse_bandwidth(self):
+        g = figure9_platform()
+        for a, b, bw in FIGURE9_LINKS:
+            assert g.cost(a, b) == Fraction(1, bw)
+            assert g.cost(b, a) == Fraction(1, bw)
+
+    def test_lan_links_are_fast(self):
+        g = figure9_platform()
+        for pair in ((6, 7), (8, 9), (10, 11), (12, 13)):
+            assert g.cost(*pair) == Fraction(1, 1000)
+
+    def test_logical_order_matches_index_labels(self):
+        parts = figure9_participants()
+        assert len(parts) == 8
+        for node, idx in FIGURE9_INDEX.items():
+            assert parts[idx] == node
+
+    def test_target_is_node6_index4(self):
+        assert figure9_target() == 6
+        assert FIGURE9_INDEX[6] == 4
+
+    def test_every_figure10_path_exists(self):
+        # spot-check the multi-hop routes printed in Figures 11-12
+        g = figure9_platform()
+        for path in ([10, 4, 12, 5, 0, 1, 2, 6],
+                     [13, 12, 5, 4, 10],
+                     [9, 8, 2, 6, 7],
+                     [7, 6, 2, 3, 8],
+                     [11, 10, 4, 12, 13]):
+            for u, v in zip(path, path[1:]):
+                assert g.has_edge(u, v), (u, v)
+
+    def test_strongly_connected(self):
+        assert figure9_platform().is_strongly_connected()

@@ -1,0 +1,154 @@
+"""Unit tests for topology generators."""
+
+import pytest
+
+from repro.platform.generators import (
+    chain, clustered, complete, grid2d, heterogenize, random_connected, ring,
+    star, tiers, tree,
+)
+
+
+class TestStar:
+    def test_node_and_edge_counts(self):
+        g = star(5)
+        assert len(g) == 6
+        assert g.num_edges() == 10  # bidirectional
+
+    def test_center_connects_to_all_leaves(self):
+        g = star(3)
+        assert set(g.successors("c")) == {"l0", "l1", "l2"}
+
+    def test_rejects_zero_leaves(self):
+        with pytest.raises(ValueError):
+            star(0)
+
+
+class TestChainRing:
+    def test_chain_structure(self):
+        g = chain(4)
+        assert g.num_edges() == 6
+        assert g.has_edge("p0", "p1") and not g.has_edge("p0", "p2")
+
+    def test_chain_minimum_size(self):
+        with pytest.raises(ValueError):
+            chain(1)
+
+    def test_ring_closes(self):
+        g = ring(5)
+        assert g.has_edge("p4", "p0") and g.has_edge("p0", "p4")
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+
+class TestComplete:
+    def test_all_pairs_connected(self):
+        g = complete(4)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert g.has_edge(f"p{i}", f"p{j}")
+
+    def test_speeds_applied(self):
+        g = complete(3, speeds=[5, 6, 7])
+        assert [g.speed(f"p{i}") for i in range(3)] == [5, 6, 7]
+
+
+class TestGrid:
+    def test_grid_degree_pattern(self):
+        g = grid2d(3, 3)
+        # corner has 2 neighbors, center has 4
+        assert len(g.successors("p0_0")) == 2
+        assert len(g.successors("p1_1")) == 4
+
+    def test_grid_node_count(self):
+        assert len(grid2d(2, 5)) == 10
+
+
+class TestTree:
+    def test_tree_edge_count(self):
+        g = tree(9, seed=3)
+        assert g.num_edges() == 2 * 8  # n-1 links, both directions
+
+    def test_tree_connected(self):
+        g = tree(12, seed=1)
+        assert g.is_strongly_connected()
+
+    def test_deterministic_for_seed(self):
+        a, b = tree(8, seed=42), tree(8, seed=42)
+        assert {(e.src, e.dst, e.cost) for e in a.edges()} == \
+               {(e.src, e.dst, e.cost) for e in b.edges()}
+
+
+class TestRandomConnected:
+    def test_connected(self):
+        g = random_connected(10, extra_edges=3, seed=7)
+        assert g.is_strongly_connected()
+
+    def test_extra_edges_added(self):
+        base = random_connected(10, extra_edges=0, seed=7)
+        plus = random_connected(10, extra_edges=4, seed=7)
+        assert plus.num_edges() == base.num_edges() + 8
+
+    def test_deterministic(self):
+        a = random_connected(9, extra_edges=2, seed=5)
+        b = random_connected(9, extra_edges=2, seed=5)
+        assert {(e.src, e.dst) for e in a.edges()} == {(e.src, e.dst) for e in b.edges()}
+
+
+class TestClustered:
+    def test_router_per_cluster(self):
+        g = clustered(3, 2, seed=0)
+        assert len(g.routers()) == 3
+        assert len(g.compute_nodes()) == 6
+
+    def test_single_cluster_has_no_ring(self):
+        g = clustered(1, 3, seed=0)
+        assert not g.has_edge("r0", "r0") and len(g) == 4
+
+
+class TestTiers:
+    def test_structure_counts(self):
+        g = tiers(seed=0, wan_nodes=3, mans_per_wan=1, lans_per_man=2,
+                  hosts_per_lan=2)
+        # hosts: 3 * 1 * 2 * 2 = 12 compute nodes
+        assert len(g.compute_nodes()) == 12
+        # routers: 3 WAN + 3 MAN + 6 LAN gateways
+        assert len(g.routers()) == 12
+
+    def test_connected(self):
+        g = tiers(seed=4)
+        assert g.is_strongly_connected()
+
+    def test_host_speeds_within_range(self):
+        g = tiers(seed=2, speed_range=(10, 100))
+        for h in g.compute_nodes():
+            assert 10 <= g.speed(h) <= 100
+
+    def test_deterministic(self):
+        a, b = tiers(seed=9), tiers(seed=9)
+        assert {(e.src, e.dst, e.cost) for e in a.edges()} == \
+               {(e.src, e.dst, e.cost) for e in b.edges()}
+
+    def test_different_seeds_differ(self):
+        a, b = tiers(seed=1), tiers(seed=2)
+        assert {(e.src, e.dst, e.cost) for e in a.edges()} != \
+               {(e.src, e.dst, e.cost) for e in b.edges()}
+
+
+class TestHeterogenize:
+    def test_keeps_structure(self):
+        g = ring(5)
+        h = heterogenize(g, seed=3)
+        assert {(e.src, e.dst) for e in h.edges()} == {(e.src, e.dst) for e in g.edges()}
+
+    def test_symmetric_links_stay_symmetric(self):
+        h = heterogenize(ring(5), seed=3)
+        for e in h.edges():
+            assert h.cost(e.dst, e.src) == e.cost
+
+    def test_routers_stay_routers(self):
+        g = clustered(2, 2, seed=0)
+        h = heterogenize(g, seed=1)
+        assert set(h.routers()) == set(g.routers())

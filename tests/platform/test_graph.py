@@ -1,0 +1,181 @@
+"""Unit tests for the platform graph data structure."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform.graph import Edge, PlatformGraph
+
+
+@pytest.fixture
+def small():
+    g = PlatformGraph("small")
+    g.add_node("a", 2)
+    g.add_node("b", 1)
+    g.add_node("r")  # router
+    g.add_edge("a", "b", 3)
+    g.add_edge("b", "a", 1)
+    g.add_edge("a", "r", Fraction(1, 2))
+    return g
+
+
+class TestConstruction:
+    def test_nodes_in_insertion_order(self, small):
+        assert small.nodes() == ["a", "b", "r"]
+
+    def test_len_counts_nodes(self, small):
+        assert len(small) == 3
+
+    def test_num_edges(self, small):
+        assert small.num_edges() == 3
+
+    def test_contains(self, small):
+        assert "a" in small and "zzz" not in small
+
+    def test_add_edge_creates_missing_endpoints_as_routers(self):
+        g = PlatformGraph()
+        g.add_edge("x", "y", 1)
+        assert not g.is_compute("x") and not g.is_compute("y")
+
+    def test_self_loop_rejected(self):
+        g = PlatformGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a", 1)
+
+    def test_nonpositive_cost_rejected(self):
+        g = PlatformGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", 0)
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -2)
+
+    def test_readding_node_updates_speed_keeps_edges(self, small):
+        small.add_node("a", 7)
+        assert small.speed("a") == 7
+        assert small.has_edge("a", "b")
+
+    def test_add_link_is_bidirectional(self):
+        g = PlatformGraph()
+        g.add_link("u", "v", 2)
+        assert g.cost("u", "v") == 2 and g.cost("v", "u") == 2
+
+    def test_add_link_asymmetric_back_cost(self):
+        g = PlatformGraph()
+        g.add_link("u", "v", 2, cost_back=5)
+        assert g.cost("v", "u") == 5
+
+    def test_integer_node_ids(self):
+        g = PlatformGraph()
+        g.add_node(0, 1)
+        g.add_node(1, 1)
+        g.add_edge(0, 1, 1)
+        assert g.cost(0, 1) == 1
+
+
+class TestQueries:
+    def test_cost_missing_edge_raises(self, small):
+        with pytest.raises(KeyError):
+            small.cost("b", "r")
+
+    def test_directed_costs_differ(self, small):
+        assert small.cost("a", "b") == 3
+        assert small.cost("b", "a") == 1
+
+    def test_successors_predecessors(self, small):
+        assert set(small.successors("a")) == {"b", "r"}
+        assert small.predecessors("a") == ["b"]
+
+    def test_out_in_edges(self, small):
+        outs = {(e.src, e.dst) for e in small.out_edges("a")}
+        assert outs == {("a", "b"), ("a", "r")}
+        ins = [(e.src, e.dst) for e in small.in_edges("r")]
+        assert ins == [("a", "r")]
+
+    def test_compute_nodes_and_routers(self, small):
+        assert small.compute_nodes() == ["a", "b"]
+        assert small.routers() == ["r"]
+
+    def test_speed_none_for_router(self, small):
+        assert small.speed("r") is None
+
+    def test_edges_iteration_complete(self, small):
+        assert {(e.src, e.dst, e.cost) for e in small.edges()} == {
+            ("a", "b", 3), ("b", "a", 1), ("a", "r", Fraction(1, 2))}
+
+
+class TestStructure:
+    def test_remove_edge(self, small):
+        small.remove_edge("a", "b")
+        assert not small.has_edge("a", "b")
+        assert small.has_edge("b", "a")
+
+    def test_remove_node_drops_incident_edges(self, small):
+        small.remove_node("a")
+        assert "a" not in small
+        assert small.num_edges() == 0
+
+    def test_copy_is_independent(self, small):
+        c = small.copy()
+        c.remove_node("a")
+        assert "a" in small and "a" not in c
+
+    def test_subgraph_keeps_induced_edges(self, small):
+        sub = small.subgraph(["a", "b"])
+        assert set(sub.nodes()) == {"a", "b"}
+        assert sub.num_edges() == 2
+
+    def test_reversed_flips_directions(self, small):
+        r = small.reversed()
+        assert r.has_edge("r", "a") and not r.has_edge("a", "r")
+        assert r.cost("b", "a") == 3
+
+    def test_reachable_from(self, small):
+        assert small.reachable_from("b") == {"a", "b", "r"}
+        assert small.reachable_from("r") == {"r"}
+
+    def test_strong_connectivity(self, small):
+        assert not small.is_strongly_connected()
+        small.add_edge("r", "a", 1)
+        assert small.is_strongly_connected()
+
+    def test_single_node_strongly_connected(self):
+        g = PlatformGraph()
+        g.add_node("x", 1)
+        assert g.is_strongly_connected()
+
+
+class TestConversions:
+    def test_as_fraction_costs_decodes_float_literals(self):
+        g = PlatformGraph()
+        g.add_node("a", 0.5)
+        g.add_node("b", 1)
+        g.add_edge("a", "b", 0.1)
+        f = g.as_fraction_costs()
+        assert f.cost("a", "b") == Fraction(1, 10)
+        assert f.speed("a") == Fraction(1, 2)
+
+    def test_networkx_roundtrip(self, small):
+        nxg = small.to_networkx()
+        back = PlatformGraph.from_networkx(nxg, name="back")
+        assert set(back.nodes()) == set(small.nodes())
+        assert back.cost("a", "b") == 3
+        assert back.speed("a") == 2
+
+    def test_from_networkx_undirected_doubles_edges(self):
+        import networkx as nx
+
+        u = nx.Graph()
+        u.add_edge(1, 2, cost=4)
+        g = PlatformGraph.from_networkx(u)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+    def test_validate_accepts_good_graph(self, small):
+        small.validate()
+
+    def test_repr_mentions_counts(self, small):
+        assert "nodes=3" in repr(small)
+
+    def test_edge_reversed_helper(self):
+        e = Edge("x", "y", 5)
+        r = e.reversed()
+        assert (r.src, r.dst, r.cost) == ("y", "x", 5)

@@ -1,0 +1,59 @@
+"""Unit tests for platform (de)serialization."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform.examples import figure2_platform, figure9_platform
+from repro.platform.io import (
+    load_platform, platform_from_json, platform_to_json, save_platform,
+)
+
+
+class TestRoundtrip:
+    def test_figure2_roundtrip_exact(self):
+        g = figure2_platform()
+        back = platform_from_json(platform_to_json(g))
+        assert back.name == g.name
+        assert set(back.nodes()) == set(g.nodes())
+        for e in g.edges():
+            assert back.cost(e.src, e.dst) == e.cost
+            assert isinstance(back.cost(e.src, e.dst), (int, Fraction))
+
+    def test_figure9_roundtrip_with_int_ids_and_routers(self):
+        g = figure9_platform()
+        back = platform_from_json(platform_to_json(g))
+        assert set(back.routers()) == set(g.routers())
+        assert back.speed(6) == 92
+        assert back.cost(0, 1) == Fraction(1, 10)
+
+    def test_float_costs_preserved(self):
+        from repro.platform.graph import PlatformGraph
+
+        g = PlatformGraph("f")
+        g.add_node("a", 1.5)
+        g.add_node("b", 2)
+        g.add_edge("a", "b", 0.25)
+        back = platform_from_json(platform_to_json(g))
+        assert back.cost("a", "b") == 0.25
+        assert back.speed("a") == 1.5
+
+    def test_file_roundtrip(self, tmp_path):
+        g = figure2_platform()
+        path = str(tmp_path / "plat.json")
+        save_platform(g, path)
+        assert load_platform(path).cost("Pa", "P0") == Fraction(2, 3)
+
+    def test_integer_fraction_collapses_to_int(self):
+        from repro.platform.graph import PlatformGraph
+
+        g = PlatformGraph()
+        g.add_node("a", 1)
+        g.add_node("b", 1)
+        g.add_edge("a", "b", Fraction(4, 2))
+        text = platform_to_json(g)
+        assert '"cost": 2' in text
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(TypeError):
+            platform_from_json('{"name":"x","nodes":[{"id":"a","speed":[1]}],"edges":[]}')

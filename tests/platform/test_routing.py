@@ -1,0 +1,90 @@
+"""Unit tests for shortest-path routing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform.generators import chain, ring
+from repro.platform.graph import PlatformGraph
+from repro.platform.routing import (
+    dijkstra, eccentricity_bound, graph_width, path_cost, shortest_path,
+    shortest_path_tree,
+)
+
+
+@pytest.fixture
+def diamond():
+    # a -> b -> d (cost 1+1), a -> c -> d (cost 3+? ) with a cheaper detour
+    g = PlatformGraph("diamond")
+    for n in "abcd":
+        g.add_node(n, 1)
+    g.add_edge("a", "b", 1)
+    g.add_edge("b", "d", 1)
+    g.add_edge("a", "c", 3)
+    g.add_edge("c", "d", 1)
+    return g
+
+
+class TestDijkstra:
+    def test_distances(self, diamond):
+        dist, _ = dijkstra(diamond, "a")
+        assert dist == {"a": 0, "b": 1, "c": 3, "d": 2}
+
+    def test_parent_reconstruction(self, diamond):
+        assert shortest_path(diamond, "a", "d") == ["a", "b", "d"]
+
+    def test_unreachable_returns_none(self, diamond):
+        diamond.add_node("z", 1)
+        assert shortest_path(diamond, "a", "z") is None
+
+    def test_unknown_source_raises(self, diamond):
+        with pytest.raises(KeyError):
+            dijkstra(diamond, "nope")
+
+    def test_fraction_costs(self):
+        g = PlatformGraph()
+        g.add_edge("a", "b", Fraction(1, 3))
+        g.add_edge("b", "c", Fraction(1, 6))
+        dist, _ = dijkstra(g, "a")
+        assert dist["c"] == Fraction(1, 2)
+
+    def test_directed_asymmetry(self, diamond):
+        # no edges back toward 'a'
+        dist, _ = dijkstra(diamond, "d")
+        assert set(dist) == {"d"}
+
+    def test_prefers_cheap_multi_hop_over_expensive_direct(self):
+        g = PlatformGraph()
+        g.add_edge("a", "d", 10)
+        g.add_edge("a", "b", 1)
+        g.add_edge("b", "d", 1)
+        assert shortest_path(g, "a", "d") == ["a", "b", "d"]
+
+
+class TestPathHelpers:
+    def test_path_cost(self, diamond):
+        assert path_cost(diamond, ["a", "c", "d"]) == 4
+
+    def test_path_cost_single_node(self, diamond):
+        assert path_cost(diamond, ["a"]) == 0
+
+    def test_shortest_path_tree_edges(self, diamond):
+        t = shortest_path_tree(diamond, "a")
+        assert t.has_edge("a", "b") and t.has_edge("b", "d")
+        assert t.has_edge("a", "c")
+        assert not t.has_edge("c", "d")
+        assert t.num_edges() == 3
+
+    def test_spt_keeps_speeds(self, diamond):
+        t = shortest_path_tree(diamond, "a")
+        assert t.speed("b") == 1
+
+
+class TestWidth:
+    def test_graph_width_chain(self):
+        g = chain(4, cost=2)
+        assert graph_width(g, "p0") == 6
+
+    def test_eccentricity_bound_dominates_width(self):
+        g = ring(5, cost=1)
+        assert eccentricity_bound(g) >= graph_width(g, "p0")

@@ -1,0 +1,134 @@
+"""Property-based tests for flow cleaning and matching decomposition."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flowclean import (
+    decompose_paths, divergence, paths_to_flow, remove_cycles,
+)
+from repro.core.matching import decompose_matchings
+
+weight = st.fractions(min_value=Fraction(1, 12), max_value=Fraction(4),
+                      max_denominator=12)
+
+
+@st.composite
+def random_flows(draw):
+    """Random flows on a small node set (arbitrary divergence)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    nodes = [f"n{i}" for i in range(n)]
+    m = draw(st.integers(min_value=1, max_value=12))
+    flow = {}
+    for _ in range(m):
+        u = draw(st.sampled_from(nodes))
+        v = draw(st.sampled_from([x for x in nodes if x != u]))
+        flow[(u, v)] = flow.get((u, v), 0) + draw(weight)
+    return flow
+
+
+@st.composite
+def path_flows(draw):
+    """Superpositions of s->t paths (guaranteed decomposable demand)."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    inner = [f"m{i}" for i in range(n)]
+    k = draw(st.integers(min_value=1, max_value=5))
+    paths = []
+    for _ in range(k):
+        hops = draw(st.lists(st.sampled_from(inner), min_size=0, max_size=3,
+                             unique=True))
+        paths.append((["s"] + hops + ["t"], draw(weight)))
+    return paths
+
+
+class TestCycleRemoval:
+    @given(random_flows())
+    @settings(max_examples=50, deadline=None)
+    def test_divergence_preserved_and_acyclic(self, flow):
+        out = remove_cycles(flow)
+        d_in, d_out = divergence(flow), divergence(out)
+        for node in set(d_in) | set(d_out):
+            assert d_in.get(node, 0) == d_out.get(node, 0)
+        # re-running finds nothing more to cancel
+        assert remove_cycles(out) == out
+
+    @given(random_flows())
+    @settings(max_examples=50, deadline=None)
+    def test_never_increases_flow(self, flow):
+        out = remove_cycles(flow)
+        for e, f in out.items():
+            assert f <= flow[e]
+
+
+class TestPathDecomposition:
+    @given(path_flows())
+    @settings(max_examples=50, deadline=None)
+    def test_full_demand_recovered(self, paths):
+        demand = sum(w for _, w in paths)
+        flow = paths_to_flow(paths)
+        got = decompose_paths(flow, "s", "t", demand=demand)
+        assert sum(w for _, w in got) == demand
+
+    @given(path_flows())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_dominated_and_demand_preserved(self, paths):
+        # Superposing s->t paths may create incidental cycles (two paths
+        # crossing in opposite directions); decomposition drops those, so
+        # the roundtrip is edgewise dominated but demand-lossless.
+        flow = paths_to_flow(paths)
+        got = decompose_paths(flow, "s", "t")
+        back = paths_to_flow(got)
+        for e, f in back.items():
+            assert f <= flow[e]
+        assert sum(w for _, w in got) == sum(w for _, w in paths)
+
+
+@st.composite
+def bipartite_weights(draw):
+    ns = draw(st.integers(min_value=1, max_value=5))
+    nr = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=10))
+    seen = {}
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=ns - 1))
+        v = draw(st.integers(min_value=0, max_value=nr - 1))
+        seen[(f"s{u}", f"r{v}")] = seen.get((f"s{u}", f"r{v}"), 0) + draw(weight)
+    return [(u, v, w) for (u, v), w in seen.items()]
+
+
+class TestMatchingProperties:
+    @given(bipartite_weights())
+    @settings(max_examples=50, deadline=None)
+    def test_decomposition_exact_and_disjoint(self, edges):
+        ms = decompose_matchings(edges)
+        # every matching node-disjoint
+        for m in ms:
+            snd = [u for u, _ in m.pairs]
+            rcv = [v for _, v in m.pairs]
+            assert len(snd) == len(set(snd))
+            assert len(rcv) == len(set(rcv))
+        # weights reproduced exactly
+        shipped = {}
+        for m in ms:
+            for pair in m.pairs:
+                shipped[pair] = shipped.get(pair, 0) + m.duration
+        assert shipped == {(u, v): w for (u, v, w) in edges}
+
+    @given(bipartite_weights())
+    @settings(max_examples=50, deadline=None)
+    def test_total_duration_equals_max_degree(self, edges):
+        du = {}
+        dv = {}
+        for (u, v, w) in edges:
+            du[u] = du.get(u, 0) + w
+            dv[v] = dv.get(v, 0) + w
+        cap = max(list(du.values()) + list(dv.values()))
+        ms = decompose_matchings(edges)
+        assert sum((m.duration for m in ms), 0) == cap
+
+    @given(bipartite_weights())
+    @settings(max_examples=30, deadline=None)
+    def test_matching_count_polynomial(self, edges):
+        ms = decompose_matchings(edges)
+        nodes = {u for u, _, _ in edges} | {v for _, v, _ in edges}
+        assert len(ms) <= len(edges) + len(nodes) + 2

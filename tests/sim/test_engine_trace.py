@@ -1,0 +1,133 @@
+"""Unit tests for the event engine and trace validation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.trace import (
+    Trace, TraceEvent, port_utilization, validate_one_port,
+)
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        e = Engine()
+        log = []
+        e.at(5, lambda: log.append("b"))
+        e.at(2, lambda: log.append("a"))
+        e.run()
+        assert log == ["a", "b"] and e.now == 5
+
+    def test_ties_break_by_scheduling_order(self):
+        e = Engine()
+        log = []
+        e.at(1, lambda: log.append("first"))
+        e.at(1, lambda: log.append("second"))
+        e.run()
+        assert log == ["first", "second"]
+
+    def test_after_is_relative(self):
+        e = Engine()
+        hits = []
+        e.at(3, lambda: e.after(2, lambda: hits.append(e.now)))
+        e.run()
+        assert hits == [5]
+
+    def test_run_until_stops_clock(self):
+        e = Engine()
+        log = []
+        e.at(10, lambda: log.append("late"))
+        e.run(until=4)
+        assert log == [] and e.now == 4 and e.pending() == 1
+
+    def test_cannot_schedule_in_past(self):
+        e = Engine()
+        e.at(5, lambda: None)
+        e.run()
+        with pytest.raises(ValueError):
+            e.at(1, lambda: None)
+
+    def test_reset(self):
+        e = Engine()
+        e.at(1, lambda: None)
+        e.reset()
+        assert e.now == 0 and e.pending() == 0
+
+    def test_run_until_advances_even_when_empty(self):
+        e = Engine()
+        e.run(until=7)
+        assert e.now == 7
+
+
+class TestTraceValidation:
+    def test_clean_trace_passes(self):
+        t = Trace()
+        t.add(TraceEvent("send", "a", 0, 1, peer="b"))
+        t.add(TraceEvent("send", "a", 1, 2, peer="c"))  # back-to-back is fine
+        assert validate_one_port(t) == []
+
+    def test_overlapping_sends_flagged(self):
+        t = Trace()
+        t.add(TraceEvent("send", "a", 0, 2, peer="b"))
+        t.add(TraceEvent("send", "a", 1, 3, peer="c"))
+        bad = validate_one_port(t)
+        assert bad and "send@'a'" in bad[0]
+
+    def test_overlapping_receives_flagged(self):
+        t = Trace()
+        t.add(TraceEvent("send", "a", 0, 2, peer="x"))
+        t.add(TraceEvent("send", "b", 1, 3, peer="x"))
+        assert any(b.startswith("recv@'x'") for b in validate_one_port(t))
+
+    def test_overlapping_compute_flagged(self):
+        t = Trace()
+        t.add(TraceEvent("compute", "a", 0, 2))
+        t.add(TraceEvent("compute", "a", 1, 3))
+        assert any(b.startswith("cpu@'a'") for b in validate_one_port(t))
+
+    def test_send_and_compute_overlap_allowed(self):
+        # full-overlap assumption: comm and comp coexist on one node
+        t = Trace()
+        t.add(TraceEvent("send", "a", 0, 2, peer="b"))
+        t.add(TraceEvent("compute", "a", 0, 2))
+        assert validate_one_port(t) == []
+
+    def test_send_and_receive_overlap_allowed(self):
+        t = Trace()
+        t.add(TraceEvent("send", "a", 0, 2, peer="b"))
+        t.add(TraceEvent("send", "b", 0, 2, peer="a"))
+        assert validate_one_port(t) == []
+
+    def test_zero_duration_events_ignored(self):
+        t = Trace()
+        t.add(TraceEvent("send", "a", 1, 1, peer="b"))
+        t.add(TraceEvent("send", "a", 1, 1, peer="c"))
+        assert validate_one_port(t) == []
+
+    def test_fraction_times_supported(self):
+        t = Trace()
+        t.add(TraceEvent("send", "a", Fraction(1, 3), Fraction(2, 3), peer="b"))
+        t.add(TraceEvent("send", "a", Fraction(2, 3), 1, peer="c"))
+        assert validate_one_port(t) == []
+
+
+class TestTraceQueries:
+    def test_kind_filters_and_horizon(self):
+        t = Trace()
+        t.add(TraceEvent("send", "a", 0, 2, peer="b"))
+        t.add(TraceEvent("compute", "a", 0, 5))
+        t.add(TraceEvent("delivery", "b", 2, 2))
+        assert len(t.sends()) == 1
+        assert len(t.computes()) == 1
+        assert len(t.deliveries()) == 1
+        assert t.horizon() == 5
+
+    def test_port_utilization(self):
+        t = Trace()
+        t.add(TraceEvent("send", "a", 0, 5, peer="b"))
+        t.add(TraceEvent("compute", "b", 0, 10))
+        u = port_utilization(t, horizon=10)
+        assert u[("send", "a")] == 0.5
+        assert u[("recv", "b")] == 0.5
+        assert u[("cpu", "b")] == 1.0

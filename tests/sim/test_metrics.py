@@ -1,0 +1,46 @@
+"""Unit tests for throughput metrics."""
+
+import pytest
+
+from repro.sim.metrics import completions_per_horizon, efficiency, steady_throughput
+
+
+class TestCompletions:
+    def test_counts_within_horizon(self):
+        assert completions_per_horizon([1, 2, 3, 10], 5) == 3
+
+    def test_boundary_inclusive(self):
+        assert completions_per_horizon([5], 5) == 1
+
+    def test_empty(self):
+        assert completions_per_horizon([], 5) == 0
+
+
+class TestSteadyThroughput:
+    def test_uniform_rate_recovered(self):
+        times = [i * 2.0 for i in range(1, 101)]
+        assert steady_throughput(times) == pytest.approx(0.5)
+
+    def test_warmup_skipped(self):
+        # slow start then steady rate 1
+        times = [50.0] + [50.0 + i for i in range(1, 100)]
+        assert steady_throughput(times) == pytest.approx(1.0, rel=0.05)
+
+    def test_too_few_samples(self):
+        assert steady_throughput([]) == 0.0
+        assert steady_throughput([1.0]) == 0.0
+
+    def test_identical_times_safe(self):
+        assert steady_throughput([3.0, 3.0, 3.0]) == 0.0
+
+    def test_unsorted_input_accepted(self):
+        times = [4.0, 2.0, 3.0, 1.0, 5.0, 6.0, 7.0, 8.0]
+        assert steady_throughput(times) == pytest.approx(1.0)
+
+
+class TestEfficiency:
+    def test_ratio(self):
+        assert efficiency(0.45, 0.5) == pytest.approx(0.9)
+
+    def test_zero_bound(self):
+        assert efficiency(1.0, 0) == 0.0

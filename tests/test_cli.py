@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.platform.examples import figure2_platform
+from repro.platform.io import save_platform
+
+
+@pytest.fixture
+def plat_file(tmp_path):
+    path = str(tmp_path / "fig2.json")
+    save_platform(figure2_platform(), path)
+    return path
+
+
+class TestScatterCommand:
+    def test_basic(self, plat_file, capsys):
+        rc = main(["scatter", "--platform", plat_file, "--source", "Ps",
+                   "--targets", "P0,P1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TP = 1/2" in out
+
+    def test_with_schedule_and_sim(self, plat_file, capsys):
+        rc = main(["scatter", "--platform", plat_file, "--source", "Ps",
+                   "--targets", "P0,P1", "--schedule", "--simulate",
+                   "--periods", "20"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "period =" in out and "correct=True" in out
+
+
+class TestReduceCommand:
+    def test_triangle(self, tmp_path, capsys):
+        from repro.platform.examples import figure6_platform
+
+        path = str(tmp_path / "fig6.json")
+        save_platform(figure6_platform(), path)
+        rc = main(["reduce", "--platform", path, "--participants", "0,1,2",
+                   "--target", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TP = 1" in out and "reduction tree" in out
+
+
+class TestGossipCommand:
+    def test_one_source_gossip_matches_scatter(self, plat_file, capsys):
+        rc = main(["gossip", "--platform", plat_file, "--sources", "Ps",
+                   "--targets", "Ps,P0,P1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TP = 1/2" in out
+
+    def test_gossip_schedule_and_sim(self, tmp_path, capsys):
+        from repro.platform.examples import figure6_platform
+
+        path = str(tmp_path / "tri.json")
+        save_platform(figure6_platform(), path)
+        rc = main(["gossip", "--platform", path, "--sources", "0,1,2",
+                   "--targets", "0,1,2", "--schedule", "--simulate",
+                   "--periods", "25"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "period =" in out and "correct=True" in out
+
+
+class TestDemoCommand:
+    def test_fig2(self, capsys):
+        assert main(["demo", "fig2"]) == 0
+        assert "paper: 1/2" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["demo", "fig6"]) == 0
+        assert "paper: 1" in capsys.readouterr().out
+
+    def test_unknown_demo_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
