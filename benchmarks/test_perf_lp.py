@@ -1,0 +1,56 @@
+"""PR 1 perf benchmark: LP solver/model hot paths, writes ``BENCH_PR1.json``.
+
+Seeds the repo's perf trajectory: the headline is the sparse fraction-free
+exact simplex replacing the dense Fraction tableau — ≥10× on every
+paper-tier platform (the Figure 9–12 tier never *finished* under the dense
+solver; its "before" is a 300 s lower bound) — plus linear-time model
+building and the raised exact-dispatch limit (the fig9 tier's 1894-variable
+LP now solves exactly in-process).
+
+The committed ``BENCH_PR1.json`` doubles as the regression baseline for
+``tests/perf/test_perf_smoke.py``.
+"""
+
+from fractions import Fraction
+
+import perf_report
+
+from repro.lp import dispatch
+from repro.lp.exact_simplex import ExactSimplexSolver
+
+
+def test_perf_lp_report(benchmark, report):
+    rep = perf_report.write_report()
+    cases = rep["cases"]
+
+    fig9 = cases["fig9_reduce"]
+    # the fig9 tier (and every >=1000-var case) must fit the default
+    # exact dispatch limit, and the exact optimum must be the paper's 2/9
+    assert fig9["vars"] >= 1000
+    assert fig9["vars"] <= dispatch.EXACT_VAR_LIMIT
+    assert Fraction(fig9["objective"]) == Fraction(2, 9)
+    assert cases["ring24_scatter"]["vars"] >= 1000
+
+    # >=10x on the exact solves of the paper-tier platforms
+    for name in ("complete5_reduce", "complete6_reduce", "fig9_reduce"):
+        assert cases[name]["speedup_x"] >= 10, (name, cases[name])
+
+    # model building is linear now: summing 3000 terms is sub-millisecond
+    mb = rep["model_building"]
+    assert mb["lin_sum_3000_terms_s"] < mb["lin_sum_3000_terms_before_s"]
+
+    for name, c in cases.items():
+        lb = " (lower bound)" if c.get("dense_lower_bound") else ""
+        report.row(f"PR1: {name} ({c['vars']} vars) dense->sparse",
+                   ">=10x on paper tiers",
+                   f"{c['dense_solve_s']}s{lb} -> {c['exact_solve_s']}s "
+                   f"({c['speedup_x']}x)")
+    report.row("PR1: lin_sum 3000 terms", "(not in paper)",
+               f"{mb['lin_sum_3000_terms_before_s']}s -> "
+               f"{mb['lin_sum_3000_terms_s']}s")
+    report.line(f"PR1: baseline written to {perf_report.REPORT_PATH.name}; "
+                "tests/perf/test_perf_smoke.py fails on >2x regressions.")
+
+    # timed headline: cold exact solve of the fig9-tier LP
+    lp = perf_report._cases()["fig9_reduce"]()
+    benchmark(lambda: ExactSimplexSolver().solve(lp))

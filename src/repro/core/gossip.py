@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.flowclean import clean_commodity
-from repro.lp import LinearProgram, LPSolution, lin_sum, solve as lp_solve
+from repro.lp import LinearProgram, LinExpr, LPSolution, lin_sum, solve as lp_solve
 from repro.platform.graph import NodeId, PlatformGraph
 
 TypeKey = Tuple[NodeId, NodeId]  # (emitting source k, destination l)
@@ -74,8 +74,12 @@ def build_gossip_lp(problem: GossipProblem) -> LinearProgram:
 
     def s_expr(i: NodeId, j: NodeId):
         c = g.cost(i, j)
-        return lin_sum(gvars[(i, j, k, l)] * c for (k, l) in pairs
-                       if (i, j, k, l) in gvars)
+        e = LinExpr()
+        for (k, l) in pairs:
+            v = gvars.get((i, j, k, l))
+            if v is not None:
+                e.add_term(v, c)
+        return e
 
     for e in g.edges():
         lp.add(s_expr(e.src, e.dst) <= 1, name=f"edge[{e.src}->{e.dst}]")

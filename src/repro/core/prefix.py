@@ -23,7 +23,7 @@ from typing import Dict, List, Tuple
 
 from repro.core import intervals as iv
 from repro.core.reduce_op import ReduceProblem, _cons_name, _send_name
-from repro.lp import LinearProgram, LPSolution, lin_sum, solve as lp_solve
+from repro.lp import LinearProgram, LinExpr, LPSolution, lin_sum, solve as lp_solve
 from repro.platform.graph import NodeId
 
 
@@ -65,8 +65,10 @@ def build_prefix_lp(problem: ReduceProblem) -> LinearProgram:
 
     def s_expr(i, j):
         c = g.cost(i, j)
-        return lin_sum(svars[(i, j, interval)] * (problem.size(interval) * c)
-                       for interval in ivals)
+        e = LinExpr()
+        for interval in ivals:
+            e.add_term(svars[(i, j, interval)], problem.size(interval) * c)
+        return e
 
     for e in g.edges():
         lp.add(s_expr(e.src, e.dst) <= 1, name=f"edge[{e.src}->{e.dst}]")
@@ -78,8 +80,10 @@ def build_prefix_lp(problem: ReduceProblem) -> LinearProgram:
             lp.add(lin_sum(s_expr(q, p) for q in g.predecessors(p)) <= 1,
                    name=f"in[{p}]")
     for h in hosts:
-        lp.add(lin_sum(cvars[(h, t)] * problem.task_time(h, t) for t in tasks) <= 1,
-               name=f"alpha[{h}]")
+        alpha = LinExpr()
+        for t in tasks:
+            alpha.add_term(cvars[(h, t)], problem.task_time(h, t))
+        lp.add(alpha <= 1, name=f"alpha[{h}]")
 
     for p in g.nodes():
         for interval in ivals:

@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import intervals as iv
 from repro.core.flowclean import remove_cycles
-from repro.lp import LinearProgram, LPSolution, lin_sum, solve as lp_solve
+from repro.lp import LinearProgram, LinExpr, LPSolution, lin_sum, solve as lp_solve
 from repro.platform.graph import NodeId, PlatformGraph
 
 Interval = Tuple[int, int]
@@ -157,8 +157,12 @@ def build_reduce_lp(problem: ReduceProblem) -> LinearProgram:
     # edge occupation and one-port (equations 1-3, 8)
     def s_expr(i: NodeId, j: NodeId):
         c = g.cost(i, j)
-        return lin_sum(svars[(i, j, interval)] * (problem.size(interval) * c)
-                       for interval in ivals if (i, j, interval) in svars)
+        e = LinExpr()
+        for interval in ivals:
+            v = svars.get((i, j, interval))
+            if v is not None:
+                e.add_term(v, problem.size(interval) * c)
+        return e
 
     for e in g.edges():
         lp.add(s_expr(e.src, e.dst) <= 1, name=f"edge[{e.src}->{e.dst}]")
@@ -172,7 +176,9 @@ def build_reduce_lp(problem: ReduceProblem) -> LinearProgram:
 
     # computation time (equations 7, 9): alpha(Pi) <= 1
     for h in hosts:
-        alpha = lin_sum(cvars[(h, t)] * problem.task_time(h, t) for t in tasks)
+        alpha = LinExpr()
+        for t in tasks:
+            alpha.add_term(cvars[(h, t)], problem.task_time(h, t))
         lp.add(alpha <= 1, name=f"alpha[{h}]")
 
     # conservation law (equation 10)

@@ -36,7 +36,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 Item = Hashable
 
 from repro.core.flowclean import clean_commodity
-from repro.lp import LinearProgram, LPSolution, lin_sum, solve as lp_solve
+from repro.lp import LinearProgram, LinExpr, LPSolution, lin_sum, solve as lp_solve
 from repro.platform.graph import NodeId, PlatformGraph
 
 EdgeKey = Tuple[NodeId, NodeId]
@@ -97,8 +97,12 @@ def build_scatter_lp(problem: ScatterProblem) -> LinearProgram:
 
     def s_expr(i: NodeId, j: NodeId):
         c = g.cost(i, j)
-        return lin_sum(svars[(i, j, k)] * c
-                       for k in problem.targets if (i, j, k) in svars)
+        e = LinExpr()
+        for k in problem.targets:
+            v = svars.get((i, j, k))
+            if v is not None:
+                e.add_term(v, c)
+        return e
 
     # edge occupation in [0, 1]  (equations 1 and 4)
     for (i, j, _c) in edges:
@@ -118,10 +122,10 @@ def build_scatter_lp(problem: ScatterProblem) -> LinearProgram:
         for k in problem.targets:
             if p == k:
                 continue
-            inflow = lin_sum(svars[(q, p, k)] for q in g.predecessors(p)
-                             if (q, p, k) in svars)
-            outflow = lin_sum(svars[(p, q, k)] for q in g.successors(p)
-                              if (p, q, k) in svars)
+            inflow = lin_sum(v for q in g.predecessors(p)
+                             if (v := svars.get((q, p, k))) is not None)
+            outflow = lin_sum(v for q in g.successors(p)
+                              if (v := svars.get((p, q, k))) is not None)
             lp.add(inflow == outflow, name=f"conserve[{p},m{k}]")
     # same throughput at every target (6)
     for k in problem.targets:

@@ -87,24 +87,40 @@ class PeriodicSchedule:
     per_period: Dict[Item, int]
     deliveries: Dict[Item, NodeId]
     compute: Dict[NodeId, List[ComputeTask]] = field(default_factory=dict)
+    # lazy one-pass caches; never compare/serialize these
+    _busy_cache: Optional[Tuple[Dict[NodeId, object], Dict[NodeId, object]]] = \
+        field(default=None, init=False, repr=False, compare=False)
+    _compute_cache: Optional[Dict[NodeId, object]] = \
+        field(default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def ops_per_period(self) -> object:
         return self.throughput * self.period
 
+    def _port_busy(self) -> Tuple[Dict[NodeId, object], Dict[NodeId, object]]:
+        """All nodes' (send, recv) busy times in one slots×transfers pass."""
+        if self._busy_cache is None:
+            snd: Dict[NodeId, object] = {}
+            rcv: Dict[NodeId, object] = {}
+            for slot in self.slots:
+                dur = slot.duration
+                for t in slot.transfers:
+                    snd[t.src] = snd.get(t.src, 0) + dur
+                    rcv[t.dst] = rcv.get(t.dst, 0) + dur
+            self._busy_cache = (snd, rcv)
+        return self._busy_cache
+
     def busy_time(self, node: NodeId) -> Tuple[object, object]:
         """(send-port, recv-port) busy time of ``node`` per period."""
-        snd = rcv = 0
-        for slot in self.slots:
-            for t in slot.transfers:
-                if t.src == node:
-                    snd = snd + slot.duration
-                if t.dst == node:
-                    rcv = rcv + slot.duration
-        return snd, rcv
+        snd, rcv = self._port_busy()
+        return snd.get(node, 0), rcv.get(node, 0)
 
     def compute_time(self, node: NodeId) -> object:
-        return sum((ct.count * ct.unit_time for ct in self.compute.get(node, [])), 0)
+        if self._compute_cache is None:
+            self._compute_cache = {
+                n: sum((ct.count * ct.unit_time for ct in tasks), 0)
+                for n, tasks in self.compute.items()}
+        return self._compute_cache.get(node, 0)
 
     def validate(self) -> List[str]:
         """One-port / period invariants; empty list == valid."""

@@ -7,23 +7,48 @@ provides the substrate from scratch:
 
 - :mod:`repro.lp.model` — a small PuLP-flavoured modeling layer
   (:class:`LinearProgram`, :class:`Variable`, affine expressions,
-  ``<=``/``>=``/``==`` constraints),
-- :mod:`repro.lp.exact_simplex` — a two-phase primal simplex over
-  :class:`fractions.Fraction` with Bland's anti-cycling rule: bit-exact
-  rational optima, exactly what the lcm-of-denominators step needs,
+  ``<=``/``>=``/``==`` constraints).  Expression building is linear-time:
+  ``lin_sum`` and :meth:`LinExpr.add_term` accumulate in place, so the LP
+  builders in :mod:`repro.core` stay O(terms) even on 5–10× scaled
+  platforms.
+- :mod:`repro.lp.exact_simplex` — the production exact backend: a sparse
+  fraction-free two-phase simplex (integer rows over a per-row common
+  denominator, Dantzig pricing with Bland fallback on degeneracy cycles,
+  artificial columns physically dropped after Phase 1, warm starts from a
+  label-addressed basis).  Bit-exact rational optima, exactly what the
+  lcm-of-denominators step needs, at ≥100× the speed of the dense tableau.
+- :mod:`repro.lp.dense_simplex` — the original dense ``Fraction`` tableau,
+  kept as a slow-but-obviously-correct oracle for differential tests.
 - :mod:`repro.lp.highs` — a floating-point backend on
-  :func:`scipy.optimize.linprog` (HiGHS) for larger instances,
+  :func:`scipy.optimize.linprog` (HiGHS) for instances past the exact
+  dispatch limit.
 - :mod:`repro.lp.rationalize` — snapping float solutions to rationals with
-  exact feasibility verification,
-- :func:`repro.lp.solve` — auto-dispatch between the two backends.
+  exact feasibility verification.
+- :func:`repro.lp.solve` — auto-dispatch plus a solve memo-cache and
+  warm-start bookkeeping.
+
+Backend selection and warm starts
+---------------------------------
+``solve(lp)`` (``backend="auto"``) picks the exact simplex whenever the LP
+is rational and has at most :data:`repro.lp.dispatch.EXACT_VAR_LIMIT`
+variables (2000 — comfortably above the Figure 9–12 tier's 1894), else
+HiGHS followed by verified rationalization.  Identical models are memoized
+under a canonical hash (:func:`repro.lp.dispatch.canonical_key`), so the
+pipeline's repeated ``solve_reduce`` calls cost one simplex run.  Exact
+solves also record their optimal basis per LP *family* (name up to the
+first ``"(``") as ``("v", var-name)`` / ``("s", constraint-name)`` labels;
+the next solve in the family crash-pivots that basis in and skips Phase 1
+when it is still primal feasible.  ``repro.lp.dispatch.clear_cache()``
+resets both layers (benchmarks do this to measure cold solves).
 """
 
 from repro.lp.model import Constraint, LinearProgram, LinExpr, Variable, lin_sum
 from repro.lp.solution import LPSolution, SolveStatus
 from repro.lp.exact_simplex import ExactSimplexSolver
+from repro.lp.dense_simplex import DenseSimplexSolver
 from repro.lp.highs import HighsSolver
 from repro.lp.rationalize import rationalize_solution
-from repro.lp.dispatch import solve
+from repro.lp.dispatch import canonical_key, clear_cache, solve
 
 __all__ = [
     "Constraint",
@@ -34,7 +59,10 @@ __all__ = [
     "LPSolution",
     "SolveStatus",
     "ExactSimplexSolver",
+    "DenseSimplexSolver",
     "HighsSolver",
     "rationalize_solution",
+    "canonical_key",
+    "clear_cache",
     "solve",
 ]

@@ -1,0 +1,258 @@
+"""Dense reference simplex over exact rationals (differential-test oracle).
+
+This is the original stand-in for the paper's use of ``lpsolve``/Maple: a
+dense tableau of :class:`fractions.Fraction` with Bland's smallest-index
+pivoting rule in both phases.  It is *slow* — every pivot touches all
+columns and every ``Fraction`` op pays a gcd — which is why production
+solves go through the sparse fraction-free rewrite in
+:mod:`repro.lp.exact_simplex`.
+
+It is kept verbatim as a known-good oracle: the property tests in
+``tests/lp`` assert that the fast solver reaches the same optimum on
+randomized rational LPs.  Do not optimise this module; its value is that
+it stays simple enough to be obviously correct.
+
+Implementation notes
+--------------------
+- Dense tableau of :class:`fractions.Fraction`.
+- Bland's smallest-index pivoting rule in both phases (terminates, slowly).
+- Lower bounds are shifted out (``y = x - lb``), upper bounds become rows.
+- Phase 1 minimizes the sum of artificial variables; any artificial left in
+  the basis at level 0 is pivoted out (or its redundant row dropped).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.lp.model import EQ, GE, LE, LinearProgram
+from repro.lp.solution import LPSolution, SolveStatus
+
+
+class DenseSimplexSolver:
+    """Dense exact rational simplex (reference oracle, not a hot path)."""
+
+    def __init__(self, max_iterations: int = 200_000) -> None:
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------
+    def solve(self, lp: LinearProgram) -> LPSolution:
+        if not lp.is_rational():
+            raise ValueError(
+                "exact simplex requires int/Fraction data; convert the LP or "
+                "use the HiGHS backend")
+        n = lp.num_vars()
+        lbs = [Fraction(v.lb) for v in lp.variables]
+
+        # Build rows  sum_j a_ij * y_j  (sense)  b_i   with y = x - lb >= 0.
+        rows: List[List[Fraction]] = []
+        senses: List[str] = []
+        rhs: List[Fraction] = []
+
+        def add_row(coefs: Dict[int, Fraction], sense: str, b: Fraction) -> None:
+            row = [Fraction(0)] * n
+            for j, c in coefs.items():
+                row[j] = row[j] + Fraction(c)
+            rows.append(row)
+            senses.append(sense)
+            rhs.append(Fraction(b))
+
+        for con in lp.constraints:
+            # expr sense 0  ->  sum c_j x_j sense -const
+            b = -Fraction(con.expr.constant)
+            for j, c in con.expr.coefs.items():
+                b -= Fraction(c) * lbs[j]
+            add_row(con.expr.coefs, con.sense, b)
+        for v in lp.variables:
+            if v.ub is not None:
+                add_row({v.index: Fraction(1)}, LE, Fraction(v.ub) - lbs[v.index])
+
+        # Normalize to b >= 0.
+        for i in range(len(rows)):
+            if rhs[i] < 0:
+                rows[i] = [-a for a in rows[i]]
+                rhs[i] = -rhs[i]
+                if senses[i] == LE:
+                    senses[i] = GE
+                elif senses[i] == GE:
+                    senses[i] = LE
+
+        m = len(rows)
+        # Column layout: [structural 0..n) | slacks/surplus | artificials]
+        n_slack = sum(1 for s in senses if s in (LE, GE))
+        slack_col: Dict[int, int] = {}
+        art_col: Dict[int, int] = {}
+        col = n
+        for i, s in enumerate(senses):
+            if s in (LE, GE):
+                slack_col[i] = col
+                col += 1
+        n_struct_slack = col
+        for i, s in enumerate(senses):
+            if s in (GE, EQ):
+                art_col[i] = col
+                col += 1
+        total_cols = col
+
+        # Tableau: m rows x (total_cols + 1); last column is b.
+        T: List[List[Fraction]] = []
+        basis: List[int] = []
+        for i in range(m):
+            row = rows[i] + [Fraction(0)] * (total_cols - n) + [rhs[i]]
+            if senses[i] == LE:
+                row[slack_col[i]] = Fraction(1)
+                basis.append(slack_col[i])
+            elif senses[i] == GE:
+                row[slack_col[i]] = Fraction(-1)
+                row[art_col[i]] = Fraction(1)
+                basis.append(art_col[i])
+            else:
+                row[art_col[i]] = Fraction(1)
+                basis.append(art_col[i])
+            T.append(row)
+
+        iterations = 0
+
+        # ---------------- Phase 1 ----------------
+        if art_col:
+            art_set = set(art_col.values())
+            obj = [Fraction(0)] * (total_cols + 1)
+            for c in art_set:
+                obj[c] = Fraction(1)
+            # canonicalize: basic artificials must have 0 reduced cost
+            for i, bvar in enumerate(basis):
+                if bvar in art_set:
+                    obj = [o - t for o, t in zip(obj, T[i])]
+            status, iters = self._iterate(T, basis, obj, total_cols,
+                                          allowed=range(total_cols))
+            iterations += iters
+            if status != "optimal":  # unbounded/iterlimit: defensive
+                return LPSolution(
+                    SolveStatus.ERROR, backend="dense-simplex", lp=lp,
+                    iterations=iterations,
+                    message=f"phase 1 stopped with {status!r} after "
+                            f"{iterations} pivots")
+            if -obj[total_cols] > 0:  # min sum of artificials > 0
+                return LPSolution(SolveStatus.INFEASIBLE, backend="dense-simplex",
+                                  lp=lp, iterations=iterations)
+            # Pivot artificials out of the basis (degenerate at 0).
+            drop_rows: List[int] = []
+            for i in range(m):
+                if basis[i] in art_set:
+                    pivot_j = None
+                    for j in range(n_struct_slack):
+                        if T[i][j] != 0:
+                            pivot_j = j
+                            break
+                    if pivot_j is None:
+                        drop_rows.append(i)  # redundant row
+                    else:
+                        self._pivot(T, basis, i, pivot_j)
+                        iterations += 1
+            for i in sorted(drop_rows, reverse=True):
+                del T[i]
+                del basis[i]
+            m = len(T)
+            # Erase artificial columns so phase 2 cannot re-enter them.
+            for row in T:
+                for c in art_set:
+                    row[c] = Fraction(0)
+
+        # ---------------- Phase 2 ----------------
+        # minimize f = -objective (if maximizing) over y; constants handled
+        # at extraction time by re-evaluating the original objective.
+        sign = -1 if lp.sense_max else 1
+        obj = [Fraction(0)] * (total_cols + 1)
+        for j, c in lp.objective.coefs.items():
+            obj[j] = sign * Fraction(c)
+        for i, bvar in enumerate(basis):
+            if obj[bvar] != 0:
+                coef = obj[bvar]
+                obj = [o - coef * t for o, t in zip(obj, T[i])]
+        status, iters = self._iterate(T, basis, obj, total_cols,
+                                      allowed=range(n_struct_slack))
+        iterations += iters
+        if status == "unbounded":
+            return LPSolution(SolveStatus.UNBOUNDED, backend="dense-simplex",
+                              lp=lp, iterations=iterations)
+        if status == "iterlimit":
+            return LPSolution(
+                SolveStatus.ERROR, backend="dense-simplex", lp=lp,
+                iterations=iterations,
+                message=f"phase 2 hit the {self.max_iterations}-iteration "
+                        f"limit")
+
+        values: Dict[int, Fraction] = {}
+        y = [Fraction(0)] * total_cols
+        for i, bvar in enumerate(basis):
+            y[bvar] = T[i][total_cols]
+        for j in range(n):
+            x = y[j] + lbs[j]
+            if x != 0:
+                values[j] = x
+        objective = lp.objective.evaluate(values)
+        return LPSolution(SolveStatus.OPTIMAL, objective=objective,
+                          values=values, backend="dense-simplex", exact=True,
+                          lp=lp, iterations=iterations)
+
+    # ------------------------------------------------------------------
+    def _iterate(self, T: List[List[Fraction]], basis: List[int],
+                 obj: List[Fraction], bcol: int, allowed) -> Tuple[str, int]:
+        """Run simplex iterations (min form) with Bland's rule.
+
+        ``obj`` is the reduced-cost row (mutated in place); ``allowed`` is the
+        range of columns eligible to enter.  Returns (status, iterations).
+        """
+        it = 0
+        allowed = list(allowed)
+        while True:
+            if it >= self.max_iterations:
+                return "iterlimit", it
+            enter = -1
+            for j in allowed:
+                if obj[j] < 0:
+                    enter = j
+                    break
+            if enter < 0:
+                return "optimal", it
+            # Bland ratio test: min b_i / T[i][enter] over positive entries,
+            # ties broken by smallest basis variable index.
+            best_ratio: Optional[Fraction] = None
+            leave = -1
+            for i in range(len(T)):
+                a = T[i][enter]
+                if a > 0:
+                    ratio = T[i][bcol] / a
+                    if (best_ratio is None or ratio < best_ratio or
+                            (ratio == best_ratio and basis[i] < basis[leave])):
+                        best_ratio = ratio
+                        leave = i
+            if leave < 0:
+                return "unbounded", it
+            self._pivot(T, basis, leave, enter)
+            coef = obj[enter]
+            if coef != 0:
+                prow = T[leave]
+                for j in range(len(obj)):
+                    if prow[j] != 0:
+                        obj[j] -= coef * prow[j]
+            it += 1
+
+    @staticmethod
+    def _pivot(T: List[List[Fraction]], basis: List[int], i: int, j: int) -> None:
+        """Pivot the tableau on entry (i, j)."""
+        prow = T[i]
+        p = prow[j]
+        if p == 0:
+            raise ZeroDivisionError("pivot on zero entry")
+        inv = 1 / p
+        T[i] = [a * inv for a in prow]
+        prow = T[i]
+        for r in range(len(T)):
+            if r != i:
+                f = T[r][j]
+                if f != 0:
+                    row = T[r]
+                    T[r] = [a - f * b for a, b in zip(row, prow)]
+        basis[i] = j

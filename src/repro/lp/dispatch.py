@@ -1,14 +1,37 @@
-"""Backend auto-dispatch for LP solving.
+"""Backend auto-dispatch, solve memoization, and warm starts.
 
-``backend="auto"`` sends small rational LPs to the exact simplex (bit-exact
-rationals, as the paper's pipeline assumes) and everything else to HiGHS,
-followed by a rationalization attempt so downstream exact machinery can still
-run whenever the optimum has modest denominators.
+``backend="auto"`` sends rational LPs up to :data:`EXACT_VAR_LIMIT`
+variables to the exact sparse simplex (bit-exact rationals, as the paper's
+pipeline assumes) and everything else to HiGHS, followed by a
+rationalization attempt so downstream exact machinery can still run
+whenever the optimum has modest denominators.
+
+Two layers of reuse sit in front of the solvers:
+
+- **Memo cache.**  Solutions are cached under a canonical hash of the
+  model (variables with bounds, constraints with sorted coefficients,
+  objective, sense).  The paper pipeline re-solves the same LP repeatedly
+  (throughput, tree extraction, scheduling, simulation all start from
+  ``solve_reduce``), so identical rebuilds hit the cache instead of the
+  simplex.  Bounded FIFO (:data:`CACHE_SIZE` entries); ``clear_cache()``
+  resets it (useful in benchmarks).
+- **Warm starts.**  After an exact solve, the optimal basis is remembered
+  per *family* (default: the LP name up to the first ``"("``, so e.g.
+  every ``SSR(...)`` instance shares one slot) as a tuple of stable
+  variable/constraint-name labels.  A ``warm_start=True`` solve in the
+  family crash-pivots that basis in; labels that don't exist in the new LP
+  are skipped, so warm starts transfer across growing platform families
+  (see ``benchmarks/test_x3_x4_prefix_scaling.py``).  A failed crash falls
+  back to a cold start, so the *objective* is never affected — but the
+  returned vertex can differ from a cold solve's, hence opt-in.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
 
 from repro.lp.exact_simplex import ExactSimplexSolver
 from repro.lp.highs import HighsSolver
@@ -17,38 +40,130 @@ from repro.lp.rationalize import rationalize_solution
 from repro.lp.solution import LPSolution
 
 #: LPs with at most this many variables go to the exact simplex by default.
-EXACT_VAR_LIMIT = 220
+#: The sparse fraction-free solver handles the Figure 9–12 tier (1894 vars)
+#: in well under a second, so the paper-scale platforms all stay exact.
+EXACT_VAR_LIMIT = 2000
+
+#: Max entries kept in the solve memo cache (FIFO eviction).
+CACHE_SIZE = 128
+
+_memo: "OrderedDict[str, LPSolution]" = OrderedDict()
+_warm_bases: Dict[str, Tuple] = {}
+
+
+def canonical_key(lp: LinearProgram) -> str:
+    """Stable hash of the model (structure canonicalized).
+
+    Two LPs built independently with the same variables (names, order,
+    bounds), the same constraints in the same order (coefficients are
+    sorted by variable index) and the same objective hash identically,
+    regardless of constraint *names* or coefficient dict iteration order.
+    Variable names are deliberately part of the identity: cached solutions
+    carry name-addressed ``basis_labels`` and are re-attached to the
+    caller's LP for ``by_name`` lookups, so name-blind hits would be
+    unsound.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(lp.sense_max).encode())
+    for v in lp.variables:
+        h.update(f"|{v.name};{v.lb!r};{v.ub!r}".encode())
+    exprs = [lp.objective] + [c.expr for c in lp.constraints]
+    senses = ["obj"] + [c.sense for c in lp.constraints]
+    for sense, e in zip(senses, exprs):
+        h.update(f"|{sense};{e.constant!r};".encode())
+        for j, c in sorted(e.coefs.items()):
+            if c:
+                h.update(f"{j}:{c!r},".encode())
+    return h.hexdigest()
+
+
+def clear_cache() -> None:
+    """Drop all memoized solutions and warm-start bases."""
+    _memo.clear()
+    _warm_bases.clear()
+
+
+def cache_stats() -> Dict[str, int]:
+    return {"memo_entries": len(_memo), "warm_families": len(_warm_bases)}
+
+
+def _family_of(lp: LinearProgram) -> str:
+    return lp.name.split("(", 1)[0]
+
+
+def _solve_exact(lp: LinearProgram, warm_start: bool,
+                 family: Optional[str]) -> LPSolution:
+    fam = family if family is not None else _family_of(lp)
+    warm = _warm_bases.get(fam) if warm_start else None
+    sol = ExactSimplexSolver().solve(lp, warm_basis=warm)
+    if sol.optimal and sol.basis_labels is not None:
+        _warm_bases[fam] = sol.basis_labels
+    return sol
 
 
 def solve(lp: LinearProgram, backend: str = "auto",
           exact_var_limit: int = EXACT_VAR_LIMIT,
-          rationalize: bool = True) -> LPSolution:
+          rationalize: bool = True, cache: bool = True,
+          warm_start: bool = False,
+          family: Optional[str] = None) -> LPSolution:
     """Solve ``lp`` with the requested backend.
 
     Parameters
     ----------
     backend:
-        ``"exact"`` — rational simplex (requires rational data);
+        ``"exact"`` — rational sparse simplex (requires rational data);
         ``"highs"`` — scipy/HiGHS float solve;
-        ``"auto"`` — exact when the LP is rational and small, HiGHS otherwise.
+        ``"auto"`` — exact when the LP is rational and has at most
+        ``exact_var_limit`` variables, HiGHS otherwise.
     rationalize:
-        After a HiGHS solve of a rational LP, attempt to snap the solution to
-        exact rationals (verified); on success the returned solution has
+        After a HiGHS solve of a rational LP, attempt to snap the solution
+        to exact rationals (verified); on success the returned solution has
         ``exact=True``.
+    cache:
+        Memoize solutions under :func:`canonical_key`; repeated solves of
+        an identical model return the cached solution (re-attached to the
+        caller's LP object so ``by_name`` etc. keep working).
+    warm_start:
+        Seed the exact solver with the last optimal basis recorded for this
+        LP's ``family`` (and record this solve's basis on success).
+        Off by default: a warm start may land on a *different optimal
+        vertex* than a cold solve, and downstream artifacts (tree
+        extraction, schedules) depend on which vertex they get — opt in
+        where only the objective/speed matters.
+    family:
+        Warm-start slot name; defaults to ``lp.name`` up to the first
+        ``"("`` so same-shape LPs on different platforms share a slot.
     """
-    if backend == "exact":
-        return ExactSimplexSolver().solve(lp)
-    if backend == "highs":
-        sol = HighsSolver().solve(lp)
-    elif backend == "auto":
-        if lp.is_rational() and lp.num_vars() <= exact_var_limit:
-            return ExactSimplexSolver().solve(lp)
-        sol = HighsSolver().solve(lp)
-    else:
+    if backend not in ("exact", "highs", "auto"):
         raise ValueError(f"unknown backend {backend!r}")
+    route = "exact" if backend == "exact" or (
+        backend == "auto" and lp.is_rational()
+        and lp.num_vars() <= exact_var_limit) else "highs"
 
-    if rationalize and sol.optimal and lp.is_rational():
+    key = None
+    if cache:
+        key = f"{route};{rationalize};{canonical_key(lp)}"
+        hit = _memo.get(key)
+        if hit is not None:
+            _memo.move_to_end(key)
+            return replace(hit, lp=lp)
+
+    if route == "exact":
+        sol = _solve_exact(lp, warm_start, family)
+    else:
+        sol = HighsSolver().solve(lp)
+
+    if (sol.backend == "highs" and rationalize and sol.optimal
+            and lp.is_rational()):
         snapped: Optional[LPSolution] = rationalize_solution(sol)
         if snapped is not None:
-            return snapped
+            sol = snapped
+
+    if cache and key is not None and sol.optimal:
+        # store without the model itself: the hit path re-attaches the
+        # caller's LP, and keeping 128 full LinearPrograms alive would
+        # pin tens of MB on fig9-tier pipelines
+        _memo[key] = replace(sol, lp=None)
+        if len(_memo) > CACHE_SIZE:
+            _memo.popitem(last=False)
     return sol

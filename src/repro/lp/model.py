@@ -109,16 +109,46 @@ class LinExpr:
     def copy(self) -> "LinExpr":
         return LinExpr(self.coefs, self.constant, _vars=self._vars)
 
-    def __add__(self, other):
+    # -- in-place accumulation (the hot path for LP builders) ----------
+    def add_term(self, var: "Variable", coef: Number = 1) -> "LinExpr":
+        """Accumulate ``coef * var`` in place and return ``self``.
+
+        This is the linear-time building block: ``lin_sum`` and the LP
+        builders in :mod:`repro.core` use it instead of ``+``, which copies
+        the whole expression on every application (O(n²) in terms).
+        """
+        idx = var.index
+        c = self.coefs.get(idx, 0) + coef
+        if c:
+            self.coefs[idx] = c
+            self._vars[idx] = var
+        else:
+            self.coefs.pop(idx, None)
+        return self
+
+    def add_expr(self, other) -> "LinExpr":
+        """Accumulate a Variable/LinExpr/Number in place; return ``self``."""
+        if isinstance(other, Variable):
+            return self.add_term(other)
+        if isinstance(other, (int, float, Fraction)):
+            self.constant = self.constant + other
+            return self
         other = self._coerce(other)
-        out = self.copy()
+        coefs, vars_ = self.coefs, self._vars
         for idx, c in other.coefs.items():
-            out.coefs[idx] = out.coefs.get(idx, 0) + c
-            out._vars[idx] = other._vars[idx]
-        out.constant = out.constant + other.constant
-        return out
+            coefs[idx] = coefs.get(idx, 0) + c
+            vars_[idx] = other._vars[idx]
+        self.constant = self.constant + other.constant
+        return self
+
+    def __add__(self, other):
+        return self.copy().add_expr(other)
 
     __radd__ = __add__
+
+    def __iadd__(self, other):
+        # ``e += x`` mutates in place — only use on expressions you own.
+        return self.add_expr(other)
 
     def __sub__(self, other):
         return self + (self._coerce(other) * -1)
@@ -166,10 +196,14 @@ class LinExpr:
 
 
 def lin_sum(items: Iterable) -> LinExpr:
-    """Sum of variables/expressions (like ``pulp.lpSum``); empty -> 0."""
+    """Sum of variables/expressions (like ``pulp.lpSum``); empty -> 0.
+
+    Accumulates in place into a fresh expression — linear in the total
+    number of terms, unlike a ``+`` fold, which copies every partial sum.
+    """
     total = LinExpr({}, 0)
     for it in items:
-        total = total + it
+        total.add_expr(it)
     return total
 
 

@@ -26,6 +26,13 @@ class LPSolution:
     ``values`` maps variable *index* to value; use :meth:`value` /
     :meth:`by_name` for convenient access.  ``exact`` is True when values are
     int/Fraction (from the exact simplex or successful rationalization).
+
+    ``basis_labels`` (exact backend only) names the optimal basis by stable
+    labels — ``("v", variable name)`` for structural columns and
+    ``("s", constraint name)`` for slacks — so a later solve of a
+    structurally similar LP can warm-start from it (see
+    :func:`repro.lp.dispatch.solve`).  ``message`` carries diagnostics for
+    ``ERROR`` statuses (e.g. iteration-limit overruns).
     """
 
     status: SolveStatus
@@ -35,6 +42,8 @@ class LPSolution:
     exact: bool = False
     lp: Optional[LinearProgram] = None
     iterations: int = 0
+    message: str = ""
+    basis_labels: Optional[tuple] = None
 
     @property
     def optimal(self) -> bool:

@@ -1,0 +1,49 @@
+"""Tier-1 perf smoke check against the committed ``BENCH_PR1.json``.
+
+Fails when the exact solve of the Figure 9–12 tier platform regresses more
+than 2× versus the recorded baseline (plus a small absolute cushion so
+timer noise on sub-second solves cannot flake the suite).  Regenerate the
+baseline with ``PYTHONPATH=src python benchmarks/perf_report.py`` after an
+intentional perf change — or on a new machine.
+"""
+
+import json
+import time
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core.reduce_op import ReduceProblem, build_reduce_lp
+from repro.lp.exact_simplex import ExactSimplexSolver
+from repro.platform.examples import (
+    figure9_participants, figure9_platform, figure9_target,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_PR1.json"
+
+#: Absolute slack added on top of the 2x budget: guards against scheduler
+#: jitter dominating a sub-second measurement.
+NOISE_CUSHION_S = 0.25
+
+
+@pytest.mark.perf_smoke
+def test_fig9_exact_solve_within_2x_of_baseline():
+    if not BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR1.json baseline; run benchmarks/perf_report.py")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_s = baseline["cases"]["fig9_reduce"]["exact_solve_s"]
+
+    lp = build_reduce_lp(ReduceProblem(
+        figure9_platform(), participants=figure9_participants(),
+        target=figure9_target(), msg_size=10, task_work=10))
+    t0 = time.perf_counter()
+    sol = ExactSimplexSolver().solve(lp)
+    elapsed = time.perf_counter() - t0
+
+    assert sol.optimal and sol.objective == Fraction(2, 9)
+    budget = 2.0 * base_s + NOISE_CUSHION_S
+    assert elapsed <= budget, (
+        f"fig9-tier exact solve regressed: {elapsed:.3f}s vs baseline "
+        f"{base_s:.3f}s (budget {budget:.3f}s) — if intentional, regenerate "
+        f"BENCH_PR1.json via benchmarks/perf_report.py")
