@@ -11,9 +11,7 @@
 from fractions import Fraction
 
 from repro.core.matching import decompose_matchings
-from repro.core.scatter import ScatterProblem, build_scatter_lp, \
-    build_scatter_schedule, solve_scatter
-from repro.lp import solve as lp_solve
+from repro.core.scatter import (ScatterProblem, build_scatter_schedule, solve_scatter)
 from repro.platform.examples import figure2_platform, figure2_targets
 from repro.sim.executor import simulate_scatter
 

@@ -11,7 +11,6 @@ a non-commutative operator.
 Run:  python examples/reduce_tiers.py
 """
 
-from fractions import Fraction
 
 from repro.core.fixed_period import fixed_period_approximation
 from repro.core.reduce_op import ReduceProblem, solve_reduce

@@ -26,8 +26,7 @@ ever merge *adjacent* logical intervals, in order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.scatter_baselines import BaselineRun
 from repro.core.reduce_op import ReduceProblem
@@ -36,7 +35,7 @@ from repro.platform.graph import NodeId
 from repro.platform.routing import shortest_path
 from repro.sim.metrics import steady_throughput
 from repro.sim.network import OnePortNetwork
-from repro.sim.operators import SeqConcat, noncommutative_reduce
+from repro.sim.operators import SeqConcat
 from repro.sim.trace import validate_one_port
 
 

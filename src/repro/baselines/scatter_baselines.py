@@ -15,10 +15,10 @@ tree.  Comparing it with ``TP(G)`` isolates the value of multiple routes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 from repro.core.scatter import ScatterProblem, solve_scatter
-from repro.platform.graph import NodeId, PlatformGraph
+from repro.platform.graph import NodeId
 from repro.platform.routing import shortest_path, shortest_path_tree
 from repro.sim.network import OnePortNetwork
 from repro.sim.metrics import steady_throughput

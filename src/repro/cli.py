@@ -1,12 +1,18 @@
 """Command-line interface.
 
-Examples::
+Solve subcommands are generated from the collective registry — one per
+registered spec, sharing the platform/backend/schedule/simulate options —
+so adding a collective automatically adds its CLI.  Examples::
 
     repro scatter --platform plat.json --source Ps --targets P0,P1
     repro reduce  --platform plat.json --participants 1,2,3 --target 1
+    repro reduce-scatter --platform plat.json --participants 1,2,3
+    repro collectives        # list every registered collective
     repro demo fig2          # the paper's Figure 2 instance end-to-end
     repro demo fig6
     repro demo fig9
+    repro demo reduce-scatter
+    repro cache info         # inspect the persistent LP solve cache
 """
 
 from __future__ import annotations
@@ -15,17 +21,17 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.gossip import GossipProblem, build_gossip_schedule, solve_gossip
-from repro.core.reduce_op import ReduceProblem, solve_reduce
-from repro.core.scatter import ScatterProblem, solve_scatter, build_scatter_schedule
-from repro.core.schedule import build_reduce_schedule
+from repro.collectives import (
+    available_collectives,
+    schedule_collective,
+    solve_collective,
+)
 from repro.platform.io import load_platform
-from repro.sim.executor import simulate_gossip, simulate_reduce, simulate_scatter
+from repro.sim.executor import simulate_collective
 from repro.viz.gantt import ascii_gantt
-from repro.viz.tables import format_table
 
 
-def _parse_node(token: str):
+def parse_node(token: str):
     """Node ids in files may be ints or strings; try int first."""
     try:
         return int(token)
@@ -33,70 +39,84 @@ def _parse_node(token: str):
         return token
 
 
-def _cmd_scatter(args) -> int:
+def parse_nodes(tokens: str) -> List[object]:
+    """Comma-separated node-id list."""
+    return [parse_node(t) for t in tokens.split(",")]
+
+
+# backward-compatible alias (pre-registry name)
+_parse_node = parse_node
+
+
+# ----------------------------------------------------------------------
+# registry-generated solve subcommands
+# ----------------------------------------------------------------------
+
+def _add_solve_subcommand(sub, spec) -> None:
+    """One solve subcommand per registered collective, with the shared
+    platform/backend/schedule/simulate wiring added exactly once."""
+    sp = sub.add_parser(spec.name, help=spec.title)
+    sp.add_argument("--platform", required=True, help="platform JSON file")
+    spec.add_arguments(sp)
+    sp.add_argument("--backend", default="auto",
+                    choices=["auto", "exact", "highs"])
+    if spec.has_schedule:
+        sp.add_argument("--schedule", action="store_true",
+                        help="build and display the periodic schedule")
+        sp.add_argument("--simulate", action="store_true")
+        sp.add_argument("--periods", type=int, default=50)
+    sp.set_defaults(func=lambda args, spec=spec: _cmd_solve(spec, args))
+
+
+def _cmd_solve(spec, args) -> int:
     g = load_platform(args.platform)
-    targets = [_parse_node(t) for t in args.targets.split(",")]
-    problem = ScatterProblem(g, _parse_node(args.source), targets)
-    sol = solve_scatter(problem, backend=args.backend)
-    print(f"platform {g.name}: TP = {sol.throughput}")
-    rows = [(f"{i} -> {j}", f"m[{k}]", v) for (i, j, k), v in
-            sorted(sol.send.items(), key=str)]
-    print(format_table(["edge", "type", "rate"], rows, title="send rates"))
-    if sol.exact and args.schedule:
-        sched = build_scatter_schedule(sol)
+    problem = spec.problem_from_args(g, args)
+    sol = solve_collective(problem, collective=spec.name,
+                           backend=args.backend)
+    print(f"platform {g.name}: TP = {sol.throughput}{spec.tp_suffix(problem)}")
+    body = spec.report(sol)
+    if body:
+        print(body)
+    if spec.has_schedule and sol.exact and args.schedule:
+        sched = schedule_collective(sol)
         print(ascii_gantt(sched))
         if args.simulate:
-            res = simulate_scatter(sched, problem, n_periods=args.periods)
+            res = simulate_collective(sched, problem, n_periods=args.periods,
+                                      collective=spec.name)
+            bound = (float(sol.throughput) * float(res.horizon)
+                     * spec.ops_bound_factor(problem))
             print(f"simulated {res.completed_ops()} ops over {res.horizon} "
-                  f"time-units (bound {float(sol.throughput) * float(res.horizon):.1f}); "
+                  f"time-units (bound {bound:.1f}); "
                   f"correct={res.correct}")
     return 0
 
 
-def _cmd_reduce(args) -> int:
-    g = load_platform(args.platform)
-    participants = [_parse_node(t) for t in args.participants.split(",")]
-    problem = ReduceProblem(g, participants, _parse_node(args.target),
-                            msg_size=args.msg_size, task_work=args.task_work)
-    sol = solve_reduce(problem, backend=args.backend)
-    print(f"platform {g.name}: TP = {sol.throughput}")
-    trees = sol.extract()
-    print(f"{len(trees)} reduction tree(s):")
-    for t in trees:
-        print(t.describe())
-    if sol.exact and args.schedule:
-        sched = build_reduce_schedule(sol)
-        print(ascii_gantt(sched))
-        if args.simulate:
-            res = simulate_reduce(sched, problem, n_periods=args.periods)
-            print(f"simulated {res.completed_ops()} ops over {res.horizon} "
-                  f"time-units (bound {float(sol.throughput) * float(res.horizon):.1f}); "
-                  f"correct={res.correct}")
+def _cmd_collectives(args) -> int:
+    from repro.viz.tables import format_table
+
+    rows = [(spec.name, spec.problem_type.__name__,
+             "yes" if spec.has_schedule else "no", spec.title)
+            for spec in available_collectives()]
+    print(format_table(["name", "problem", "schedule", "description"], rows,
+                       title="registered collectives"))
     return 0
 
 
-def _cmd_gossip(args) -> int:
-    g = load_platform(args.platform)
-    sources = [_parse_node(t) for t in args.sources.split(",")]
-    targets = [_parse_node(t) for t in args.targets.split(",")]
-    problem = GossipProblem(g, sources, targets)
-    sol = solve_gossip(problem, backend=args.backend)
-    print(f"platform {g.name}: TP = {sol.throughput} "
-          f"({len(problem.pairs())} message types)")
-    rows = [(f"{i} -> {j}", f"m({k},{l})", v) for (i, j, k, l), v in
-            sorted(sol.send.items(), key=str)]
-    print(format_table(["edge", "type", "rate"], rows, title="send rates"))
-    if sol.exact and args.schedule:
-        sched = build_gossip_schedule(sol)
-        print(ascii_gantt(sched))
-        if args.simulate:
-            res = simulate_gossip(sched, problem, n_periods=args.periods)
-            print(f"simulated {res.completed_ops()} ops over {res.horizon} "
-                  f"time-units; correct={res.correct}")
-    return 0
+# ----------------------------------------------------------------------
+# paper-figure demos
+# ----------------------------------------------------------------------
+
+DEMOS = ["fig2", "fig6", "fig9", "reduce-scatter"]
 
 
 def _cmd_demo(args) -> int:
+    from repro.core.reduce_op import ReduceProblem, solve_reduce
+    from repro.core.reduce_scatter import (ReduceScatterProblem,
+                                           build_reduce_scatter_schedule,
+                                           solve_reduce_scatter)
+    from repro.core.scatter import ScatterProblem, build_scatter_schedule, \
+        solve_scatter
+    from repro.core.schedule import build_reduce_schedule
     from repro.platform.examples import (figure2_platform, figure2_targets,
                                          figure6_platform, figure9_platform,
                                          figure9_participants, figure9_target)
@@ -123,59 +143,70 @@ def _cmd_demo(args) -> int:
               f"(paper: 2/9)")
         for t in sol.extract():
             print(t.describe())
+    elif args.which == "reduce-scatter":
+        problem = ReduceScatterProblem(figure6_platform(), [0, 1, 2])
+        sol = solve_reduce_scatter(problem, backend="exact")
+        print(f"Reduce-scatter on the Figure 6 triangle: TP = {sol.throughput}")
+        for b, trees in sorted(sol.extract().items()):
+            print(f"block {b} -> node {problem.block_target(b)}: "
+                  f"{len(trees)} reduction tree(s)")
+            for t in trees:
+                print(t.describe())
+        print(ascii_gantt(build_reduce_scatter_schedule(sol)))
     else:
         print(f"unknown demo {args.which!r}", file=sys.stderr)
         return 2
     return 0
 
 
+# ----------------------------------------------------------------------
+# persistent LP cache management
+# ----------------------------------------------------------------------
+
+def _cmd_cache(args) -> int:
+    from repro.lp import diskcache
+
+    root = args.dir if args.dir else diskcache.get_cache_dir()
+    if args.action == "info":
+        st = diskcache.stats(root)
+        if not st["enabled"]:
+            print("LP disk cache disabled (set REPRO_LP_CACHE_DIR or pass "
+                  "--dir)")
+        else:
+            print(f"LP disk cache at {st['dir']}: {st['entries']} entries, "
+                  f"{st['bytes']} bytes")
+    elif args.action == "clear":
+        removed = diskcache.clear(root)
+        print(f"removed {removed} cached solution(s)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
-        description="Steady-state scatter/reduce scheduling on heterogeneous "
+        description="Steady-state collective scheduling on heterogeneous "
                     "platforms (Legrand-Marchal-Robert, RR-4872).")
     sub = p.add_subparsers(dest="command", required=True)
 
-    sc = sub.add_parser("scatter", help="solve a Series of Scatters instance")
-    sc.add_argument("--platform", required=True, help="platform JSON file")
-    sc.add_argument("--source", required=True)
-    sc.add_argument("--targets", required=True, help="comma-separated node ids")
-    sc.add_argument("--backend", default="auto",
-                    choices=["auto", "exact", "highs"])
-    sc.add_argument("--schedule", action="store_true",
-                    help="build and display the periodic schedule")
-    sc.add_argument("--simulate", action="store_true")
-    sc.add_argument("--periods", type=int, default=50)
-    sc.set_defaults(func=_cmd_scatter)
+    for spec in available_collectives():
+        _add_solve_subcommand(sub, spec)
 
-    rd = sub.add_parser("reduce", help="solve a Series of Reduces instance")
-    rd.add_argument("--platform", required=True)
-    rd.add_argument("--participants", required=True,
-                    help="comma-separated node ids in logical (⊕) order")
-    rd.add_argument("--target", required=True)
-    rd.add_argument("--msg-size", type=int, default=1, dest="msg_size")
-    rd.add_argument("--task-work", type=int, default=1, dest="task_work")
-    rd.add_argument("--backend", default="auto",
-                    choices=["auto", "exact", "highs"])
-    rd.add_argument("--schedule", action="store_true")
-    rd.add_argument("--simulate", action="store_true")
-    rd.add_argument("--periods", type=int, default=50)
-    rd.set_defaults(func=_cmd_reduce)
-
-    go = sub.add_parser("gossip", help="solve a Series of Gossips instance")
-    go.add_argument("--platform", required=True)
-    go.add_argument("--sources", required=True, help="comma-separated node ids")
-    go.add_argument("--targets", required=True, help="comma-separated node ids")
-    go.add_argument("--backend", default="auto",
-                    choices=["auto", "exact", "highs"])
-    go.add_argument("--schedule", action="store_true")
-    go.add_argument("--simulate", action="store_true")
-    go.add_argument("--periods", type=int, default=50)
-    go.set_defaults(func=_cmd_gossip)
+    co = sub.add_parser("collectives",
+                        help="list every registered collective")
+    co.set_defaults(func=_cmd_collectives)
 
     dm = sub.add_parser("demo", help="run a paper-figure demo")
-    dm.add_argument("which", choices=["fig2", "fig6", "fig9"])
+    dm.add_argument("which", choices=DEMOS)
     dm.set_defaults(func=_cmd_demo)
+
+    ca = sub.add_parser("cache", help="inspect/clear the persistent LP "
+                                      "solve cache")
+    ca.add_argument("action", choices=["info", "clear"])
+    ca.add_argument("--dir", default=None,
+                    help="cache directory (default: REPRO_LP_CACHE_DIR)")
+    ca.set_defaults(func=_cmd_cache)
     return p
 
 

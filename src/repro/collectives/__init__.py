@@ -1,0 +1,50 @@
+"""Unified collective pipeline: registry, specs, and the orchestrator.
+
+One pipeline serves every steady-state collective::
+
+    problem --spec.build_lp--> LP --lp.solve--> optimum
+            --spec.extract + flow passes--> CollectiveSolution
+            --spec.build_schedule--> PeriodicSchedule
+            --spec.simulation--> simulator semantics
+
+:func:`solve_collective` runs the first half, :func:`schedule_collective`
+the schedule step, and :func:`repro.sim.executor.simulate_collective` the
+replay.  The classic per-collective entry points (``solve_scatter`` &
+co.) are thin wrappers kept for compatibility.
+
+The built-in specs (scatter, reduce, gossip, prefix, reduce-scatter)
+self-register on first registry access — lazily, because the core
+problem modules import :mod:`repro.collectives.base` for the shared
+solution class and an eager import here would be circular.  A bare
+``ReduceProblem`` always resolves to the plain reduce — prefix shares
+that problem type but opts out of type resolution
+(``resolve_by_type = False``), so request ``collective="prefix"``
+explicitly.
+"""
+
+from repro.collectives.base import (
+    CollectiveSolution,
+    CollectiveSpec,
+    SimSemantics,
+)
+from repro.collectives.registry import (
+    available_collectives,
+    get_collective,
+    register_collective,
+    resolve_collective,
+    unregister_collective,
+)
+from repro.collectives.orchestrator import schedule_collective, solve_collective
+
+__all__ = [
+    "CollectiveSolution",
+    "CollectiveSpec",
+    "SimSemantics",
+    "available_collectives",
+    "get_collective",
+    "register_collective",
+    "resolve_collective",
+    "unregister_collective",
+    "schedule_collective",
+    "solve_collective",
+]

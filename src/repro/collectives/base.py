@@ -1,0 +1,324 @@
+"""The unified collective pipeline: spec protocol and shared solution.
+
+The paper's method is one pipeline regardless of the collective:
+
+    build the steady-state LP  ->  solve it (exactly when possible)
+    ->  post-process the rate flows  ->  reconstruct a periodic schedule
+    ->  simulate and validate
+
+A :class:`CollectiveSpec` packages the collective-specific plug-in points
+of that pipeline — problem validation, LP builder, variable-name codec,
+solution extraction, schedule reconstruction, simulator item semantics —
+so the generic orchestrator (:func:`repro.collectives.solve_collective`)
+can run any registered collective.  Adding a collective means writing one
+spec subclass and registering it; see ``repro/collectives/reduce_scatter.py``
+for a complete example and ROADMAP.md for the how-to.
+
+:class:`CollectiveSolution` is the one solution type behind the historical
+``ScatterSolution``/``ReduceSolution``/``GossipSolution``/``PrefixSolution``
+names: rates (``send``), optional task rates (``cons``), optional path
+decompositions (``paths``), exactness metadata, and shared
+``edge_occupation()``/``verify()`` that dispatch through the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.lp import LinearProgram, LPSolution
+from repro.platform.graph import NodeId
+
+if TYPE_CHECKING:  # flowclean sits under repro.core, whose package
+    # __init__ imports the problem modules that subclass
+    # CollectiveSolution — importing it eagerly here would be circular
+    from repro.core.flowclean import FlowPass
+
+Item = Hashable
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class CollectiveSolution:
+    """Solved steady-state collective: throughput plus cleaned rates.
+
+    ``send`` maps spec-defined keys (always starting with the edge
+    ``(src, dst)``) to steady-state rates; ``cons`` maps task keys to task
+    rates for computing collectives; ``paths`` holds per-commodity weighted
+    path decompositions when the cleaning pipeline produced them.
+    ``collective`` names the spec that built (and can interpret) this
+    solution.
+    """
+
+    problem: object
+    throughput: object
+    send: Dict[tuple, object]
+    lp_solution: LPSolution
+    exact: bool
+    paths: Optional[Dict[object, List[Tuple[List[NodeId], object]]]] = None
+    cons: Optional[Dict[tuple, object]] = None
+    trees: Optional[object] = None
+    collective: str = ""
+
+    @property
+    def spec(self) -> "CollectiveSpec":
+        from repro.collectives.registry import get_collective
+
+        return get_collective(self.collective)
+
+    def edge_occupation(self) -> Dict[EdgeKey, object]:
+        """Busy fraction of every used edge: ``sum rate * unit_time``."""
+        spec = self.spec
+        occ: Dict[EdgeKey, object] = {}
+        for key, f in self.send.items():
+            e = spec.send_edge(key)
+            occ[e] = occ.get(e, 0) + f * spec.send_unit_time(self.problem, key)
+        return occ
+
+    def verify(self, tol=0) -> List[str]:
+        """Exact re-check of the collective's steady-state invariants on
+        the cleaned rates; empty list == all hold."""
+        return self.spec.verify(self, tol=tol)
+
+    def alpha(self, node: NodeId) -> object:
+        """Fraction of time ``node`` spends computing (0 when ``cons`` is
+        empty — pure-communication collectives never compute)."""
+        if not self.cons:
+            return 0
+        spec = self.spec
+        return sum((r * spec.cons_unit_time(self.problem, key)
+                    for key, r in self.cons.items()
+                    if spec.cons_node(key) == node), 0)
+
+
+@dataclass
+class SimSemantics:
+    """Simulator item semantics of one collective's schedules.
+
+    ``supplies`` maps ``(node, item)`` to a stamped-instance factory,
+    ``expected`` checks delivered payloads, ``combine`` is the binary
+    operator for compute tasks (``None`` for pure communication).
+    """
+
+    supplies: Dict[Tuple[NodeId, Item], object]
+    expected: Optional[object] = None
+    combine: Optional[object] = None
+
+
+class CollectiveSpec:
+    """Plug-in points of the unified pipeline for one collective.
+
+    Subclasses must set :attr:`name`, :attr:`title`, :attr:`problem_type`,
+    :attr:`solution_type` and implement the LP/codec/verify hooks.  The
+    extraction loop, schedule dispatch and CLI wiring are shared.
+    """
+
+    #: Registry key (CLI subcommand name).
+    name: str = ""
+    #: Human-readable description shown by ``repro collectives``.
+    title: str = ""
+    #: Problem dataclass this spec solves.
+    problem_type: type = object
+    #: Solution class :meth:`finalize` instantiates.
+    solution_type: type = CollectiveSolution
+    #: Whether :meth:`build_schedule` / :meth:`simulation` are implemented.
+    has_schedule: bool = True
+    #: Eligible for problem-type resolution.  Specs sharing another
+    #: collective's problem type (prefix rides ReduceProblem) set this
+    #: False and are only reachable by name — keeps resolution
+    #: independent of registration/import order.
+    resolve_by_type: bool = True
+
+    # ------------------------------------------------------------------
+    # problem / LP
+    # ------------------------------------------------------------------
+    def validate(self, problem) -> None:
+        """Raise ``ValueError`` for ill-formed problems.  The problem
+        constructors already validate; this re-checks the type."""
+        if not isinstance(problem, self.problem_type):
+            raise ValueError(
+                f"{self.name} expects a {self.problem_type.__name__}, "
+                f"got {type(problem).__name__}")
+
+    def build_lp(self, problem) -> LinearProgram:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # variable-name codec + commodity structure
+    # ------------------------------------------------------------------
+    def commodities(self, problem) -> Sequence[object]:
+        """Commodity keys whose flows are extracted and cleaned."""
+        raise NotImplementedError
+
+    def commodity_var(self, problem, commodity, i: NodeId, j: NodeId) -> str:
+        """LP variable name of ``commodity``'s rate on edge ``(i, j)``."""
+        raise NotImplementedError
+
+    def commodity_endpoints(self, problem, commodity) -> Optional[Tuple[NodeId, NodeId]]:
+        """``(source, sink)`` for routed commodities, ``None`` for
+        interval-style commodities (many producers/consumers)."""
+        return None
+
+    def send_key(self, commodity, i: NodeId, j: NodeId) -> tuple:
+        """Key of this commodity-on-edge rate in ``solution.send``."""
+        raise NotImplementedError
+
+    def send_edge(self, key: tuple) -> EdgeKey:
+        """Edge of a ``send`` key (default: first two components)."""
+        return (key[0], key[1])
+
+    def send_unit_time(self, problem, key: tuple) -> object:
+        """Edge occupation time of one unit of this rate."""
+        raise NotImplementedError
+
+    # task rates (computing collectives only)
+    def cons_node(self, key: tuple) -> NodeId:
+        return key[0]
+
+    def cons_unit_time(self, problem, key: tuple) -> object:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # solution extraction
+    # ------------------------------------------------------------------
+    def default_passes(self) -> Tuple["FlowPass", ...]:
+        """Flow post-processing pipeline (override per collective)."""
+        from repro.core.flowclean import CleanCommodityPass, PruneEpsilonRatesPass
+
+        return (PruneEpsilonRatesPass(), CleanCommodityPass())
+
+    def extract(self, problem, lp: LinearProgram, sol: LPSolution,
+                tol, passes: Sequence["FlowPass"]) -> CollectiveSolution:
+        """Generic extraction: per commodity, gather the flow by variable
+        name, run the pass pipeline, and assemble ``send``/``paths``."""
+        from repro.core.flowclean import FlowContext, run_passes
+
+        tp = sol.by_name("TP")
+        g = problem.platform
+        send: Dict[tuple, object] = {}
+        paths: Dict[object, List[Tuple[List[NodeId], object]]] = {}
+        for c in self.commodities(problem):
+            flow: Dict[EdgeKey, object] = {}
+            for e in g.edges():
+                name = self.commodity_var(problem, c, e.src, e.dst)
+                try:
+                    var = lp.get(name)
+                except KeyError:
+                    continue
+                f = sol.value(var)
+                if f:
+                    flow[(e.src, e.dst)] = f
+            endpoints = self.commodity_endpoints(problem, c)
+            src, sink = endpoints if endpoints else (None, None)
+            ctx = FlowContext(commodity=c, flow=flow, source=src, sink=sink,
+                              demand=tp, eps=tol)
+            run_passes(passes, ctx)
+            if ctx.paths is not None:
+                paths[c] = ctx.paths
+            for (i, j), f in ctx.flow.items():
+                send[self.send_key(c, i, j)] = f
+        return self.finalize(problem, tp, send, paths if paths else None,
+                             lp, sol, tol)
+
+    def finalize(self, problem, throughput, send, paths,
+                 lp: LinearProgram, sol: LPSolution, tol) -> CollectiveSolution:
+        """Build the solution object (override to extract task rates)."""
+        return self.solution_type(problem=problem, throughput=throughput,
+                                  send=send, paths=paths, lp_solution=sol,
+                                  exact=sol.exact, collective=self.name)
+
+    # ------------------------------------------------------------------
+    # invariants / schedule / simulation
+    # ------------------------------------------------------------------
+    def verify(self, solution: CollectiveSolution, tol=0) -> List[str]:
+        raise NotImplementedError
+
+    def build_schedule(self, solution: CollectiveSolution):
+        raise NotImplementedError(
+            f"{self.name} has no schedule reconstruction")
+
+    def simulation(self, schedule, problem, op=None) -> SimSemantics:
+        """Item semantics for :func:`repro.sim.executor.simulate_collective`."""
+        raise NotImplementedError(
+            f"{self.name} has no simulator semantics")
+
+    # ------------------------------------------------------------------
+    # reporting / CLI
+    # ------------------------------------------------------------------
+    def rate_rows(self, solution: CollectiveSolution):
+        """``(headers, rows)`` for the send-rates table."""
+        rows = [(f"{k[0]} -> {k[1]}", self.format_commodity(k), v)
+                for k, v in sorted(solution.send.items(), key=str)]
+        return ["edge", "type", "rate"], rows
+
+    def format_commodity(self, send_key: tuple) -> str:
+        return str(send_key[2:])
+
+    def add_arguments(self, parser) -> None:
+        """Add collective-specific CLI options to a solve subcommand."""
+        raise NotImplementedError
+
+    def problem_from_args(self, platform, args):
+        """Build the problem from parsed CLI arguments."""
+        raise NotImplementedError
+
+    def report(self, solution: CollectiveSolution) -> str:
+        """CLI body printed after the throughput line."""
+        from repro.viz.tables import rates_table
+
+        return rates_table(solution)
+
+    def tp_suffix(self, problem) -> str:
+        """Extra text appended to the CLI throughput line."""
+        return ""
+
+    def ops_bound_factor(self, problem) -> int:
+        """Completed-ops bound multiplier over ``TP * horizon``.
+
+        ``SimulationResult.completed_ops`` sums independent delivery
+        streams for computing collectives; specs with several TP-rate
+        stream groups (reduce-scatter: one per block) override this so
+        reported bounds match that counting."""
+        return 1
+
+    # shared simulator plumbing: stamped leaf-value supplies for
+    # computing collectives (items tagged ("val", (j, j), <stream>))
+    def _leaf_value_supplies(self, schedule, problem, op):
+        items = set()
+        for slot in schedule.slots:
+            for tr in slot.transfers:
+                items.add(tr.item)
+        for _node, tasks in schedule.compute.items():
+            for ct in tasks:
+                items.add(ct.output)
+                items.update(ct.inputs)
+        supplies = {}
+        for item in items:
+            tag, interval = item[0], item[1]
+            if tag == "val" and interval[0] == interval[1]:
+                j = interval[0]
+                supplies[(problem.owner(j), item)] = \
+                    (lambda jj: (lambda seq: op.leaf(jj, seq)))(j)
+        return supplies
+
+    # shared port-capacity checks used by most verify() implementations
+    def _port_violations(self, solution: CollectiveSolution, tol) -> List[str]:
+        bad: List[str] = []
+        occ = solution.edge_occupation()
+        out_t: Dict[NodeId, object] = {}
+        in_t: Dict[NodeId, object] = {}
+        for (i, j), o in occ.items():
+            out_t[i] = out_t.get(i, 0) + o
+            in_t[j] = in_t.get(j, 0) + o
+            if o > 1 + tol:
+                bad.append(f"edge[{i}->{j}] occupation {o} > 1")
+        for p, o in out_t.items():
+            if o > 1 + tol:
+                bad.append(f"out[{p}] {o} > 1")
+        for p, o in in_t.items():
+            if o > 1 + tol:
+                bad.append(f"in[{p}] {o} > 1")
+        return bad
+
+    def __repr__(self) -> str:
+        return f"<CollectiveSpec {self.name!r}>"

@@ -1,0 +1,61 @@
+"""The single solve pipeline every collective goes through.
+
+``solve_collective`` replaces the four near-identical ``solve_*``
+functions: resolve the spec, build the LP, solve it, and hand the raw
+optimum to the spec's extractor with a configurable flow-cleaning pass
+pipeline.  ``schedule_collective`` is the matching registry-dispatched
+schedule reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.collectives.base import CollectiveSolution
+from repro.collectives.registry import resolve_collective
+from repro.lp import solve as lp_solve
+
+if TYPE_CHECKING:  # lazy: repro.core's package __init__ imports back here
+    from repro.core.flowclean import FlowPass
+
+
+def solve_collective(problem, collective: Optional[str] = None,
+                     backend: str = "auto", eps: float = 1e-9,
+                     passes: Optional[Sequence["FlowPass"]] = None,
+                     **solve_kwargs) -> CollectiveSolution:
+    """Solve a steady-state collective end to end.
+
+    Parameters
+    ----------
+    problem:
+        Any registered problem instance (``ScatterProblem``,
+        ``ReduceProblem``, ``GossipProblem``, ``ReduceScatterProblem``, ...).
+    collective:
+        Spec name override; needed when one problem type serves several
+        collectives (``ReduceProblem`` -> ``"reduce"`` or ``"prefix"``).
+    backend:
+        LP backend (``"auto"`` / ``"exact"`` / ``"highs"``).
+    eps:
+        Zero threshold for float solutions (exact solves use 0).
+    passes:
+        Flow post-processing pipeline; defaults to the spec's
+        ``default_passes()``.
+    solve_kwargs:
+        Forwarded to :func:`repro.lp.solve` (``warm_start``, ``canonical``,
+        ``cache``, ...).
+    """
+    spec = resolve_collective(problem, collective)
+    spec.validate(problem)
+    lp = spec.build_lp(problem)
+    sol = lp_solve(lp, backend=backend, **solve_kwargs)
+    if not sol.optimal:
+        raise RuntimeError(f"LP solve failed: {sol.status}")
+    tol = 0 if sol.exact else eps
+    if passes is None:
+        passes = spec.default_passes()
+    return spec.extract(problem, lp, sol, tol, passes)
+
+
+def schedule_collective(solution: CollectiveSolution):
+    """Periodic one-port schedule for any collective solution."""
+    return solution.spec.build_schedule(solution)

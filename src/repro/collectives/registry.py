@@ -1,0 +1,92 @@
+"""Collective registry: name -> :class:`CollectiveSpec` instance.
+
+``register_collective`` is called once per spec at import time; user
+code can register additional collectives the same way.  Resolution works
+either by name or by problem type.  Specs that share another
+collective's problem type declare ``resolve_by_type = False`` (prefix
+rides ``ReduceProblem``) and are reachable only by name, so type
+resolution never depends on import/registration order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.collectives.base import CollectiveSpec
+
+_registry: dict = {}  # name -> CollectiveSpec, insertion-ordered
+_builtins_loaded = False
+
+
+def _load_builtins() -> None:
+    """Import the built-in spec modules (which self-register) on first
+    registry access.  Lazy because the core problem modules import
+    :mod:`repro.collectives.base`; importing the specs (which import the
+    core modules back) at package-import time would be circular.
+    Registration order == import order: reduce before prefix."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    import repro.collectives.scatter  # noqa: F401
+    import repro.collectives.reduce  # noqa: F401
+    import repro.collectives.gossip  # noqa: F401
+    import repro.collectives.prefix  # noqa: F401
+    import repro.collectives.reduce_scatter  # noqa: F401
+    # set only after every import succeeded: a failed spec import must
+    # resurface on the next registry access, not leave a partial registry
+    _builtins_loaded = True
+
+
+def register_collective(spec: CollectiveSpec,
+                        replace: bool = False) -> CollectiveSpec:
+    """Register ``spec`` under ``spec.name``; returns the spec.
+
+    Re-registering a name raises unless ``replace=True`` (supported so
+    tests and downstream code can shadow a built-in).
+    """
+    if not spec.name:
+        raise ValueError("collective spec needs a non-empty name")
+    if spec.name in _registry and not replace:
+        raise ValueError(f"collective {spec.name!r} is already registered")
+    _registry[spec.name] = spec
+    return spec
+
+
+def unregister_collective(name: str) -> None:
+    _registry.pop(name, None)
+
+
+def get_collective(name: str) -> CollectiveSpec:
+    _load_builtins()
+    try:
+        return _registry[name]
+    except KeyError:
+        known = ", ".join(sorted(_registry)) or "(none)"
+        raise KeyError(f"unknown collective {name!r}; registered: {known}") \
+            from None
+
+
+def available_collectives() -> List[CollectiveSpec]:
+    """Registered specs in registration order."""
+    _load_builtins()
+    return list(_registry.values())
+
+
+def resolve_collective(problem, collective: Optional[str] = None) -> CollectiveSpec:
+    """Spec for ``problem``: by explicit name, else by problem type.
+
+    Type-based resolution only considers specs with
+    ``resolve_by_type=True`` — specs that *share* another collective's
+    problem type (``prefix`` rides ``ReduceProblem``) opt out and must be
+    requested by name, so resolution never depends on import order.
+    Among eligible specs the first registered wins.
+    """
+    if collective is not None:
+        return get_collective(collective)
+    _load_builtins()
+    for spec in _registry.values():
+        if spec.resolve_by_type and isinstance(problem, spec.problem_type):
+            return spec
+    raise KeyError(
+        f"no registered collective accepts a {type(problem).__name__}; "
+        f"registered: {', '.join(sorted(_registry)) or '(none)'}")

@@ -13,6 +13,13 @@ Pipelines, one per collective:
   (Section 4.4); :mod:`repro.core.schedule` assembles the periodic schedule;
   :mod:`repro.core.fixed_period` implements the Section 4.6 approximation.
 - **Parallel prefix** (Section 6 outlook): :mod:`repro.core.prefix`.
+- **Series of Reduce-scatters**: :mod:`repro.core.reduce_scatter` — every
+  participant ends with one reduced block; built as reduce-per-block over
+  the shared capacities and scheduled by superposing per-block trees.
+
+All five run through the one registry-driven pipeline in
+:mod:`repro.collectives`; the ``solve_*`` functions here are thin
+registry-backed wrappers kept for compatibility.
 """
 
 from repro.core.scatter import (
@@ -35,6 +42,14 @@ from repro.core.reduce_op import (
     build_reduce_lp,
     solve_reduce,
 )
+from repro.core.prefix import PrefixSolution, build_prefix_lp, solve_prefix
+from repro.core.reduce_scatter import (
+    ReduceScatterProblem,
+    ReduceScatterSolution,
+    build_reduce_scatter_lp,
+    build_reduce_scatter_schedule,
+    solve_reduce_scatter,
+)
 from repro.core.trees import ReductionTree, extract_trees
 from repro.core.schedule import PeriodicSchedule, build_reduce_schedule
 from repro.core.fixed_period import fixed_period_approximation
@@ -54,6 +69,14 @@ __all__ = [
     "ReduceSolution",
     "build_reduce_lp",
     "solve_reduce",
+    "PrefixSolution",
+    "build_prefix_lp",
+    "solve_prefix",
+    "ReduceScatterProblem",
+    "ReduceScatterSolution",
+    "build_reduce_scatter_lp",
+    "build_reduce_scatter_schedule",
+    "solve_reduce_scatter",
     "ReductionTree",
     "extract_trees",
     "PeriodicSchedule",

@@ -1,4 +1,4 @@
-"""Flow cleaning: cycle removal and path decomposition.
+"""Flow cleaning: cycle removal, path decomposition, and the pass pipeline.
 
 An optimal vertex of the steady-state LPs may carry *useless circulation*:
 per-message-type flow cycles, or flow that leaves a destination again.  Such
@@ -10,7 +10,15 @@ module provides:
 - :func:`decompose_paths` — full flow decomposition of a source→sink
   commodity into weighted simple paths (dropping cycles and junk),
 - :func:`clean_commodity` — the composition used by the scatter/gossip
-  pipelines.
+  pipelines,
+
+and the **pass framework** the collective orchestrator composes them
+through: a :class:`FlowPass` transforms one commodity's
+:class:`FlowContext` in place, and :func:`run_passes` chains passes
+(``prune -> clean`` for routed commodities, ``prune -> decycle`` for
+reduce-style intervals).  Collectives declare their default pipeline via
+``CollectiveSpec.default_passes`` and callers may override it per solve
+(``solve_collective(..., passes=[...])``).
 
 All functions accept exact (Fraction/int) or float flows; for floats an
 ``eps`` threshold treats tiny values as zero.
@@ -18,7 +26,8 @@ All functions accept exact (Fraction/int) or float flows; for floats an
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 NodeId = Hashable
 EdgeFlow = Dict[Tuple[NodeId, NodeId], object]
@@ -169,3 +178,100 @@ def divergence(flow: EdgeFlow) -> Dict[NodeId, object]:
         div[u] = div.get(u, 0) + f
         div[v] = div.get(v, 0) - f
     return div
+
+
+def prune_epsilon_rates(flow: EdgeFlow, eps=0) -> EdgeFlow:
+    """Drop rates at or below ``eps`` (and any negative float noise).
+
+    For exact solutions ``eps == 0`` and this only removes explicit zeros;
+    for float solves it is the numeric zero threshold applied before any
+    structural cleaning, so cycle cancellation and path decomposition never
+    chase solver noise.
+    """
+    return {e: f for e, f in flow.items() if f > eps}
+
+
+# ----------------------------------------------------------------------
+# pass framework
+# ----------------------------------------------------------------------
+
+@dataclass
+class FlowContext:
+    """One commodity's flow as it moves through the cleaning pipeline.
+
+    ``source``/``sink`` are set for routed commodities (scatter messages,
+    gossip pairs) and ``None`` for interval commodities (reduce partial
+    results, which have many producers/consumers).  ``demand`` is the
+    steady-state rate the commodity must deliver (the LP's ``TP``); passes
+    that decompose the flow record the result in ``paths``.
+    """
+
+    commodity: object
+    flow: EdgeFlow
+    source: Optional[NodeId] = None
+    sink: Optional[NodeId] = None
+    demand: object = None
+    eps: object = 0
+    paths: Optional[List[Tuple[List[NodeId], object]]] = field(default=None)
+
+
+class FlowPass:
+    """A composable post-processing step over one commodity's flow.
+
+    Subclasses override :meth:`run` and mutate the context in place.
+    ``requires_endpoints`` marks passes that only make sense for routed
+    (source→sink) commodities; :func:`run_passes` skips them when the
+    context has no endpoints, so one pipeline can serve mixed collectives.
+    """
+
+    name: str = "pass"
+    requires_endpoints: bool = False
+
+    def run(self, ctx: FlowContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PruneEpsilonRatesPass(FlowPass):
+    """Threshold pass: drop rates ``<= eps`` before structural cleaning."""
+
+    name = "prune-epsilon"
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.flow = prune_epsilon_rates(ctx.flow, eps=ctx.eps)
+
+
+class RemoveCyclesPass(FlowPass):
+    """Cancel directed cycles; keeps divergence intact at every node."""
+
+    name = "remove-cycles"
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.flow = remove_cycles(ctx.flow, eps=ctx.eps)
+
+
+class CleanCommodityPass(FlowPass):
+    """Keep exactly ``demand`` worth of source→sink path flow; record the
+    weighted path decomposition in ``ctx.paths``."""
+
+    name = "clean-commodity"
+    requires_endpoints = True
+
+    def run(self, ctx: FlowContext) -> None:
+        ctx.flow, ctx.paths = clean_commodity(
+            ctx.flow, ctx.source, ctx.sink, demand=ctx.demand, eps=ctx.eps)
+
+
+def run_passes(passes: Sequence[FlowPass], ctx: FlowContext) -> FlowContext:
+    """Run ``passes`` over ``ctx`` in order; returns the same context.
+
+    Passes with ``requires_endpoints`` are skipped when the commodity has
+    no ``source``/``sink`` (interval commodities).
+    """
+    for p in passes:
+        if p.requires_endpoints and (ctx.source is None or ctx.sink is None):
+            continue
+        p.run(ctx)
+    return ctx

@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.flowclean import clean_commodity
-from repro.lp import LinearProgram, LinExpr, LPSolution, lin_sum, solve as lp_solve
+from repro.collectives.base import CollectiveSolution
+from repro.lp import LinearProgram, LinExpr, lin_sum
 from repro.platform.graph import NodeId, PlatformGraph
 
 TypeKey = Tuple[NodeId, NodeId]  # (emitting source k, destination l)
@@ -108,85 +108,29 @@ def build_gossip_lp(problem: GossipProblem) -> LinearProgram:
 
 
 @dataclass
-class GossipSolution:
-    """Solved ``SSPA2A(G)`` with cleaned per-pair flows."""
+class GossipSolution(CollectiveSolution):
+    """Solved ``SSPA2A(G)`` with cleaned per-pair flows.
 
-    problem: GossipProblem
-    throughput: object
-    send: Dict[Tuple[NodeId, NodeId, NodeId, NodeId], object]
-    paths: Dict[TypeKey, List[Tuple[List[NodeId], object]]]
-    lp_solution: LPSolution
-    exact: bool
+    ``send[(i, j, k, l)]`` is the rate of ``m_{k,l}`` on edge ``(i, j)``;
+    ``paths[(k, l)]`` the pair's weighted path decomposition.  Shared
+    behavior comes from the registered ``"gossip"`` spec.
+    """
 
-    def edge_occupation(self) -> Dict[Tuple[NodeId, NodeId], object]:
-        g = self.problem.platform
-        s: Dict[Tuple[NodeId, NodeId], object] = {}
-        for (i, j, _k, _l), f in self.send.items():
-            s[(i, j)] = s.get((i, j), 0) + f * g.cost(i, j)
-        return s
-
-    def verify(self, tol=0) -> List[str]:
-        """Exact invariant re-check on the cleaned rates."""
-        bad: List[str] = []
-        occ = self.edge_occupation()
-        out_t: Dict[NodeId, object] = {}
-        in_t: Dict[NodeId, object] = {}
-        for (i, j), o in occ.items():
-            out_t[i] = out_t.get(i, 0) + o
-            in_t[j] = in_t.get(j, 0) + o
-        for p, o in list(out_t.items()) + list(in_t.items()):
-            if o > 1 + tol:
-                bad.append(f"port[{p}] {o} > 1")
-        for (k, l) in self.problem.pairs():
-            delivered = sum(f for (i, j, kk, ll), f in self.send.items()
-                            if j == l and (kk, ll) == (k, l))
-            if abs(delivered - self.throughput) > tol:
-                bad.append(f"throughput[m({k},{l})] {delivered} != {self.throughput}")
-        return bad
+    collective: str = "gossip"
 
 
 def solve_gossip(problem: GossipProblem, backend: str = "auto",
                  eps: float = 1e-9) -> GossipSolution:
-    """Solve ``SSPA2A(G)`` and clean each commodity's flow."""
-    lp = build_gossip_lp(problem)
-    sol = lp_solve(lp, backend=backend)
-    if not sol.optimal:
-        raise RuntimeError(f"LP solve failed: {sol.status}")
-    tp = sol.by_name("TP")
-    tol = 0 if sol.exact else eps
+    """Solve ``SSPA2A(G)`` and clean each commodity's flow (registry-backed
+    wrapper over :func:`repro.collectives.solve_collective`)."""
+    from repro.collectives import solve_collective
 
-    send: Dict[Tuple[NodeId, NodeId, NodeId, NodeId], object] = {}
-    paths: Dict[TypeKey, List[Tuple[List[NodeId], object]]] = {}
-    for (k, l) in problem.pairs():
-        flow = {}
-        for e in problem.platform.edges():
-            name = _gvar(e.src, e.dst, k, l)
-            try:
-                var = lp.get(name)
-            except KeyError:
-                continue
-            f = sol.value(var)
-            if f > tol:
-                flow[(e.src, e.dst)] = f
-        cleaned, pths = clean_commodity(flow, k, l, demand=tp, eps=tol)
-        paths[(k, l)] = pths
-        for (i, j), f in cleaned.items():
-            send[(i, j, k, l)] = f
-    return GossipSolution(problem=problem, throughput=tp, send=send,
-                          paths=paths, lp_solution=sol, exact=sol.exact)
+    return solve_collective(problem, collective="gossip", backend=backend,
+                            eps=eps)
 
 
 def build_gossip_schedule(solution: GossipSolution):
     """Periodic one-port schedule for the gossip (same machinery as scatter)."""
-    from repro.core.schedule import schedule_from_rates
+    from repro.collectives import schedule_collective
 
-    if not solution.exact:
-        raise ValueError("schedule construction needs exact rational rates")
-    g = solution.problem.platform
-    rates = {}
-    for (i, j, k, l), f in solution.send.items():
-        rates[(i, j, ("msg", k, l))] = (f, g.cost(i, j))
-    deliveries = {("msg", k, l): l for (k, l) in solution.problem.pairs()}
-    return schedule_from_rates(rates, throughput=solution.throughput,
-                               deliveries=deliveries,
-                               name=f"gossip({g.name})")
+    return schedule_collective(solution)

@@ -18,7 +18,7 @@ bounds behind Theorem 1's ``2n^4`` tree limit.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
 Interval = Tuple[int, int]       # (k, m) with 0 <= k <= m <= n-1
 Task = Tuple[int, int, int]      # (k, l, m) with 0 <= k <= l < m <= n-1

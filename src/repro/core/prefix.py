@@ -19,24 +19,22 @@ constraint per rank instead of a single target:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
+from repro.collectives.base import CollectiveSolution
 from repro.core import intervals as iv
 from repro.core.reduce_op import ReduceProblem, _cons_name, _send_name
-from repro.lp import LinearProgram, LinExpr, LPSolution, lin_sum, solve as lp_solve
-from repro.platform.graph import NodeId
+from repro.lp import LinearProgram, LinExpr, lin_sum
 
 
 @dataclass
-class PrefixSolution:
-    """Solved parallel-prefix LP: common delivery throughput and rates."""
+class PrefixSolution(CollectiveSolution):
+    """Solved parallel-prefix LP: common delivery throughput and rates.
 
-    problem: ReduceProblem
-    throughput: object
-    send: Dict[Tuple[NodeId, NodeId, Tuple[int, int]], object]
-    cons: Dict[Tuple[NodeId, Tuple[int, int, int]], object]
-    lp_solution: LPSolution
-    exact: bool
+    Shared behavior (``verify``, ``edge_occupation``, ``alpha``) comes
+    from the registered ``"prefix"`` spec.
+    """
+
+    collective: str = "prefix"
 
 
 def build_prefix_lp(problem: ReduceProblem) -> LinearProgram:
@@ -110,26 +108,10 @@ def build_prefix_lp(problem: ReduceProblem) -> LinearProgram:
 
 def solve_prefix(problem: ReduceProblem, backend: str = "auto",
                  eps: float = 1e-9) -> PrefixSolution:
-    """Solve the parallel-prefix LP."""
-    lp = build_prefix_lp(problem)
-    sol = lp_solve(lp, backend=backend)
-    if not sol.optimal:
-        raise RuntimeError(f"prefix LP solve failed: {sol.status}")
-    tp = sol.by_name("TP")
-    tol = 0 if sol.exact else eps
-    g = problem.platform
-    n = problem.n_values
-    send = {}
-    for e in g.edges():
-        for interval in iv.all_intervals(n):
-            f = sol.value(lp.get(_send_name(e.src, e.dst, interval)))
-            if f > tol:
-                send[(e.src, e.dst, interval)] = f
-    cons = {}
-    for h in problem.compute_hosts():
-        for t in iv.all_tasks(n):
-            r = sol.value(lp.get(_cons_name(h, t)))
-            if r > tol:
-                cons[(h, t)] = r
-    return PrefixSolution(problem=problem, throughput=tp, send=send,
-                          cons=cons, lp_solution=sol, exact=sol.exact)
+    """Solve the parallel-prefix LP (registry-backed wrapper; the spec
+    name ``"prefix"`` disambiguates from ``"reduce"``, which shares
+    :class:`ReduceProblem`)."""
+    from repro.collectives import solve_collective
+
+    return solve_collective(problem, collective="prefix", backend=backend,
+                            eps=eps)

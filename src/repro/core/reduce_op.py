@@ -23,13 +23,13 @@ closes the phantom-circulation loophole in the literal text.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.collectives.base import CollectiveSolution
 from repro.core import intervals as iv
-from repro.core.flowclean import remove_cycles
-from repro.lp import LinearProgram, LinExpr, LPSolution, lin_sum, solve as lp_solve
+from repro.lp import LinearProgram, LinExpr, lin_sum
 from repro.platform.graph import NodeId, PlatformGraph
 
 Interval = Tuple[int, int]
@@ -212,80 +212,17 @@ def build_reduce_lp(problem: ReduceProblem) -> LinearProgram:
 
 
 @dataclass
-class ReduceSolution:
+class ReduceSolution(CollectiveSolution):
     """Solved ``SSR(G)``.
 
     ``send[(i, j, (k, m))]`` are transfer rates (cycles per interval type
     already cancelled); ``cons[(i, (k, l, m))]`` are task rates.  ``trees``
-    is filled by :meth:`extract` (Section 4.4).
+    is filled by :meth:`extract` (Section 4.4).  Shared behavior
+    (``verify``, ``edge_occupation``, ``alpha``) comes from the registered
+    ``"reduce"`` spec.
     """
 
-    problem: ReduceProblem
-    throughput: object
-    send: Dict[Tuple[NodeId, NodeId, Interval], object]
-    cons: Dict[Tuple[NodeId, Task], object]
-    lp_solution: LPSolution
-    exact: bool
-    trees: Optional[list] = None
-
-    def alpha(self, node: NodeId) -> object:
-        """Fraction of time ``node`` spends computing."""
-        return sum((r * self.problem.task_time(node, t)
-                    for (h, t), r in self.cons.items() if h == node), 0)
-
-    def edge_occupation(self) -> Dict[Tuple[NodeId, NodeId], object]:
-        g = self.problem.platform
-        s: Dict[Tuple[NodeId, NodeId], object] = {}
-        for (i, j, interval), f in self.send.items():
-            s[(i, j)] = s.get((i, j), 0) + f * self.problem.size(interval) * g.cost(i, j)
-        return s
-
-    def verify(self, tol=0) -> List[str]:
-        """Re-check one-port, alpha, conservation and throughput."""
-        bad: List[str] = []
-        p_ = self.problem
-        g = p_.platform
-        n = p_.n_values
-        occ = self.edge_occupation()
-        out_t: Dict[NodeId, object] = {}
-        in_t: Dict[NodeId, object] = {}
-        for (i, j), o in occ.items():
-            out_t[i] = out_t.get(i, 0) + o
-            in_t[j] = in_t.get(j, 0) + o
-            if o > 1 + tol:
-                bad.append(f"edge[{i}->{j}] {o} > 1")
-        for node, o in list(out_t.items()) + list(in_t.items()):
-            if o > 1 + tol:
-                bad.append(f"port[{node}] {o} > 1")
-        for h in p_.compute_hosts():
-            a = self.alpha(h)
-            if a > 1 + tol:
-                bad.append(f"alpha[{h}] {a} > 1")
-        full = iv.full_interval(n)
-        for node in g.nodes():
-            for interval in iv.all_intervals(n):
-                if iv.is_leaf(interval) and p_.owner(interval[0]) == node:
-                    continue
-                if node == p_.target and interval == full:
-                    continue
-                inflow = sum(f for (i, j, vv), f in self.send.items()
-                             if j == node and vv == interval)
-                outflow = sum(f for (i, j, vv), f in self.send.items()
-                              if i == node and vv == interval)
-                produced = sum(r for (h, t), r in self.cons.items()
-                               if h == node and iv.task_output(t) == interval)
-                consumed = sum(r for (h, t), r in self.cons.items()
-                               if h == node and interval in iv.task_inputs(t))
-                lhs, rhs = inflow + produced, outflow + consumed
-                if abs(lhs - rhs) > tol:
-                    bad.append(f"conserve[{node},v{interval}] {lhs} != {rhs}")
-        arrived = sum(f for (i, j, vv), f in self.send.items()
-                      if j == p_.target and vv == full)
-        local = sum(r for (h, t), r in self.cons.items()
-                    if h == p_.target and iv.task_output(t) == full)
-        if abs(arrived + local - self.throughput) > tol:
-            bad.append(f"throughput {arrived + local} != {self.throughput}")
-        return bad
+    collective: str = "reduce"
 
     def extract(self, eps: Optional[float] = None) -> list:
         """Extract weighted reduction trees (Section 4.4); caches result."""
@@ -299,38 +236,9 @@ class ReduceSolution:
 def solve_reduce(problem: ReduceProblem, backend: str = "auto",
                  eps: float = 1e-9) -> ReduceSolution:
     """Solve ``SSR(G)``; per-interval transfer cycles are cancelled so tree
-    extraction terminates (see DESIGN.md decision 3)."""
-    lp = build_reduce_lp(problem)
-    sol = lp_solve(lp, backend=backend)
-    if not sol.optimal:
-        raise RuntimeError(f"LP solve failed: {sol.status}")
-    tp = sol.by_name("TP")
-    tol = 0 if sol.exact else eps
-    g = problem.platform
-    n = problem.n_values
+    extraction terminates (see DESIGN.md decision 3).  Registry-backed
+    wrapper over :func:`repro.collectives.solve_collective`."""
+    from repro.collectives import solve_collective
 
-    send: Dict[Tuple[NodeId, NodeId, Interval], object] = {}
-    for interval in iv.all_intervals(n):
-        flow = {}
-        for e in g.edges():
-            name = _send_name(e.src, e.dst, interval)
-            try:
-                var = lp.get(name)
-            except KeyError:
-                continue
-            f = sol.value(var)
-            if f > tol:
-                flow[(e.src, e.dst)] = f
-        flow = remove_cycles(flow, eps=tol)
-        for (i, j), f in flow.items():
-            send[(i, j, interval)] = f
-
-    cons: Dict[Tuple[NodeId, Task], object] = {}
-    for h in problem.compute_hosts():
-        for t in iv.all_tasks(n):
-            r = sol.value(lp.get(_cons_name(h, t)))
-            if r > tol:
-                cons[(h, t)] = r
-
-    return ReduceSolution(problem=problem, throughput=tp, send=send,
-                          cons=cons, lp_solution=sol, exact=sol.exact)
+    return solve_collective(problem, collective="reduce", backend=backend,
+                            eps=eps)

@@ -29,14 +29,13 @@ Fidelity notes (documented deviations from the literal text):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Sequence, Tuple
 
 Item = Hashable
 
-from repro.core.flowclean import clean_commodity
-from repro.lp import LinearProgram, LinExpr, LPSolution, lin_sum, solve as lp_solve
+from repro.collectives.base import CollectiveSolution
+from repro.lp import LinearProgram, LinExpr, lin_sum
 from repro.platform.graph import NodeId, PlatformGraph
 
 EdgeKey = Tuple[NodeId, NodeId]
@@ -138,125 +137,43 @@ def build_scatter_lp(problem: ScatterProblem) -> LinearProgram:
 
 
 @dataclass
-class ScatterSolution:
+class ScatterSolution(CollectiveSolution):
     """Solved ``SSSP(G)``: throughput and per-edge, per-type rates.
 
     ``send[(i, j, k)]`` is the rate of type-``k`` messages on edge ``(i,j)``
     per time-unit, after flow cleaning (cycles and junk dropped, so each
     type is exactly a ``TP``-valued source→k path flow).  ``paths[k]`` is
-    the corresponding weighted path decomposition.
+    the corresponding weighted path decomposition.  Shared behavior
+    (``verify``, ``edge_occupation``) comes from
+    :class:`repro.collectives.base.CollectiveSolution` via the registered
+    ``"scatter"`` spec.
     """
 
-    problem: ScatterProblem
-    throughput: object
-    send: Dict[Tuple[NodeId, NodeId, NodeId], object]
-    paths: Dict[NodeId, List[Tuple[List[NodeId], object]]]
-    lp_solution: LPSolution
-    exact: bool
-
-    def edge_occupation(self) -> Dict[EdgeKey, object]:
-        """``s(Pi -> Pj)``: busy fraction of every used edge."""
-        g = self.problem.platform
-        s: Dict[EdgeKey, object] = {}
-        for (i, j, _k), f in self.send.items():
-            s[(i, j)] = s.get((i, j), 0) + f * g.cost(i, j)
-        return s
-
-    def verify(self, tol=0) -> List[str]:
-        """Exact re-check of one-port, conservation and throughput on the
-        cleaned rates.  Returns a list of violation descriptions (empty ==
-        all invariants hold).
-        """
-        g = self.problem.platform
-        bad: List[str] = []
-        occ = self.edge_occupation()
-        out_t: Dict[NodeId, object] = {}
-        in_t: Dict[NodeId, object] = {}
-        for (i, j), o in occ.items():
-            out_t[i] = out_t.get(i, 0) + o
-            in_t[j] = in_t.get(j, 0) + o
-            if o > 1 + tol:
-                bad.append(f"edge[{i}->{j}] occupation {o} > 1")
-        for p, o in out_t.items():
-            if o > 1 + tol:
-                bad.append(f"out[{p}] {o} > 1")
-        for p, o in in_t.items():
-            if o > 1 + tol:
-                bad.append(f"in[{p}] {o} > 1")
-        for k in self.problem.targets:
-            for p in g.nodes():
-                inflow = sum(f for (i, j, kk), f in self.send.items()
-                             if j == p and kk == k)
-                outflow = sum(f for (i, j, kk), f in self.send.items()
-                              if i == p and kk == k)
-                if p == self.problem.source:
-                    continue
-                if p == k:
-                    if abs(inflow - self.throughput) > tol:
-                        bad.append(f"throughput[m{k}] {inflow} != {self.throughput}")
-                    if outflow > tol:
-                        bad.append(f"reemit[{p},m{k}] {outflow} > 0")
-                elif abs(inflow - outflow) > tol:
-                    bad.append(f"conserve[{p},m{k}] in {inflow} != out {outflow}")
-        return bad
+    collective: str = "scatter"
 
 
 def solve_scatter(problem: ScatterProblem, backend: str = "auto",
                   eps: float = 1e-9) -> ScatterSolution:
     """Solve ``SSSP(G)`` and return cleaned per-type flows.
 
-    ``eps`` is the zero threshold used when the LP came back in floats.
+    Thin registry-backed wrapper over
+    :func:`repro.collectives.solve_collective`; ``eps`` is the zero
+    threshold used when the LP came back in floats.
     """
-    lp = build_scatter_lp(problem)
-    sol = lp_solve(lp, backend=backend)
-    if not sol.optimal:
-        raise RuntimeError(f"LP solve failed: {sol.status}")
-    tp = sol.by_name("TP")
-    tol = 0 if sol.exact else eps
+    from repro.collectives import solve_collective
 
-    send: Dict[Tuple[NodeId, NodeId, NodeId], object] = {}
-    paths: Dict[NodeId, List[Tuple[List[NodeId], object]]] = {}
-    for k in problem.targets:
-        # gather this type's flow from the solution by variable name
-        flow = {}
-        for e in problem.platform.edges():
-            name = _svar(e.src, e.dst, k)
-            try:
-                var = lp.get(name)
-            except KeyError:
-                continue
-            f = sol.value(var)
-            if f > tol:
-                flow[(e.src, e.dst)] = f
-        cleaned, pths = clean_commodity(flow, problem.source, k,
-                                        demand=tp, eps=tol)
-        paths[k] = pths
-        for (i, j), f in cleaned.items():
-            send[(i, j, k)] = f
-    return ScatterSolution(problem=problem, throughput=tp, send=send,
-                           paths=paths, lp_solution=sol, exact=sol.exact)
+    return solve_collective(problem, collective="scatter", backend=backend,
+                            eps=eps)
 
 
 def build_scatter_schedule(solution: ScatterSolution):
     """Periodic one-port schedule achieving ``TP`` (Section 3.3).
 
-    Thin wrapper over :func:`repro.core.schedule.schedule_from_rates`;
-    requires an exact (rational) solution.
+    Registry-backed wrapper; requires an exact (rational) solution.
     """
-    from repro.core.schedule import schedule_from_rates
+    from repro.collectives import schedule_collective
 
-    if not solution.exact:
-        raise ValueError(
-            "schedule construction needs exact rational rates; solve with "
-            "backend='exact' or rationalize first (see repro.lp.rationalize)")
-    g = solution.problem.platform
-    rates = {}
-    for (i, j, k), f in solution.send.items():
-        rates[(i, j, ("msg", k))] = (f, g.cost(i, j))
-    deliveries = {("msg", k): k for k in solution.problem.targets}
-    return schedule_from_rates(rates, throughput=solution.throughput,
-                               deliveries=deliveries,
-                               name=f"scatter({g.name})")
+    return schedule_collective(solution)
 
 
 def build_scatter_schedule_fixed_period(solution: ScatterSolution,

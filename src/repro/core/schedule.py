@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.core.matching import Matching, decompose_matchings
+from repro.core.matching import decompose_matchings
 from repro.platform.graph import NodeId
 
 Item = Hashable  # message-type token, e.g. ("msg", k) or ("val", (k, m), tree)
@@ -351,8 +351,6 @@ def build_reduce_schedule(solution, trees=None):
     if needed).  Requires exact rational tree weights; float solutions go
     through :func:`repro.core.fixed_period.fixed_period_approximation`.
     """
-    from repro.core.reduce_op import ReduceSolution  # cycle guard
-
     if trees is None:
         trees = solution.trees if solution.trees is not None else solution.extract()
     problem = solution.problem

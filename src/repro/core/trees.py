@@ -21,8 +21,7 @@ walks an acyclic flow, so the walk terminates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from fractions import Fraction
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import intervals as iv

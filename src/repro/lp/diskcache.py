@@ -1,0 +1,161 @@
+"""Persistent on-disk LP solution store (cross-process memo cache).
+
+The in-process memo cache in :mod:`repro.lp.dispatch` dies with the
+interpreter; pipelines that re-run the same instances across processes
+(benchmarks, CLI invocations, CI shards) re-pay the simplex every time.
+This module stores solved :class:`~repro.lp.solution.LPSolution` objects
+under the same canonical model hash, one pickle file per solution, in a
+configurable directory:
+
+- ``set_cache_dir(path)`` enables the store programmatically;
+- the ``REPRO_LP_CACHE_DIR`` environment variable enables it for a whole
+  shell session (picked up lazily on first solve);
+- ``set_cache_dir(None)`` disables it again (the default state).
+
+Solutions are written atomically (tmp file + ``os.replace``) so parallel
+processes sharing a cache directory never observe torn files; unreadable
+or truncated entries are treated as misses.  Only *optimal* solutions are
+stored, with the model stripped (``lp=None``) — the dispatch layer
+re-attaches the caller's LP on a hit, exactly like the in-memory cache.
+
+The ``repro cache`` CLI subcommand inspects and clears the store.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.lp.solution import LPSolution
+
+#: Environment variable naming the cache directory (lazily honoured).
+CACHE_DIR_ENV = "REPRO_LP_CACHE_DIR"
+
+#: File suffix of one stored solution.
+SUFFIX = ".lpsol"
+
+#: Bump when the on-disk format changes; part of every file name, so a
+#: format change invalidates old entries instead of crashing on them.
+FORMAT_VERSION = 1
+
+_cache_dir: Optional[str] = None
+_env_checked = False
+
+
+def set_cache_dir(path: Optional[str]) -> Optional[str]:
+    """Set (and create) the cache directory; ``None`` disables the store.
+
+    Returns the normalized path (or ``None``).  Overrides any
+    ``REPRO_LP_CACHE_DIR`` setting for the rest of the process.
+    """
+    global _cache_dir, _env_checked
+    _env_checked = True  # explicit configuration beats the environment
+    if path is None:
+        _cache_dir = None
+        return None
+    path = os.path.abspath(os.path.expanduser(str(path)))
+    os.makedirs(path, exist_ok=True)
+    _cache_dir = path
+    return path
+
+
+def get_cache_dir() -> Optional[str]:
+    """Active cache directory, or ``None`` when the store is disabled.
+
+    The first call honours ``REPRO_LP_CACHE_DIR`` if set and non-empty.
+    """
+    global _env_checked
+    if not _env_checked:
+        _env_checked = True
+        env = os.environ.get(CACHE_DIR_ENV, "").strip()
+        if env:
+            set_cache_dir(env)
+    return _cache_dir
+
+
+def _entry_path(root: str, key: str) -> str:
+    return os.path.join(root, f"v{FORMAT_VERSION}-{key}{SUFFIX}")
+
+
+def load(key: str) -> Optional[LPSolution]:
+    """Stored solution for ``key``, or ``None`` (disabled/miss/corrupt)."""
+    root = get_cache_dir()
+    if root is None:
+        return None
+    path = _entry_path(root, key)
+    try:
+        with open(path, "rb") as fh:
+            sol = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    return sol if isinstance(sol, LPSolution) else None
+
+
+def store(key: str, sol: LPSolution) -> bool:
+    """Persist ``sol`` under ``key`` (atomic); returns True when written."""
+    root = get_cache_dir()
+    if root is None:
+        return False
+    path = _entry_path(root, key)
+    payload = replace(sol, lp=None)
+    try:
+        fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False  # read-only / full disk: the cache is best-effort
+    return True
+
+
+def stats(root: Optional[str] = None) -> Dict[str, object]:
+    """``{dir, enabled, entries, bytes}`` for ``root`` (default: active)."""
+    root = root or get_cache_dir()
+    if root is None:
+        return {"dir": None, "enabled": False, "entries": 0, "bytes": 0}
+    entries = 0
+    size = 0
+    try:
+        with os.scandir(root) as it:
+            for de in it:
+                if de.name.endswith(SUFFIX):
+                    entries += 1
+                    try:
+                        size += de.stat().st_size
+                    except OSError:
+                        pass
+    except OSError:
+        pass
+    return {"dir": root, "enabled": True, "entries": entries, "bytes": size}
+
+
+def clear(root: Optional[str] = None) -> int:
+    """Delete every stored solution under ``root`` (default: active
+    directory); returns the number of entries removed."""
+    root = root or get_cache_dir()
+    if root is None:
+        return 0
+    removed = 0
+    try:
+        with os.scandir(root) as it:
+            names = [de.name for de in it if de.name.endswith(SUFFIX)]
+    except OSError:
+        return 0
+    for name in names:
+        try:
+            os.unlink(os.path.join(root, name))
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -6,7 +6,7 @@ pipeline assumes) and everything else to HiGHS, followed by a
 rationalization attempt so downstream exact machinery can still run
 whenever the optimum has modest denominators.
 
-Two layers of reuse sit in front of the solvers:
+Three layers of reuse sit in front of the solvers:
 
 - **Memo cache.**  Solutions are cached under a canonical hash of the
   model (variables with bounds, constraints with sorted coefficients,
@@ -15,6 +15,11 @@ Two layers of reuse sit in front of the solvers:
   ``solve_reduce``), so identical rebuilds hit the cache instead of the
   simplex.  Bounded FIFO (:data:`CACHE_SIZE` entries); ``clear_cache()``
   resets it (useful in benchmarks).
+- **Disk cache** (:mod:`repro.lp.diskcache`, opt-in).  The same keys,
+  persisted across processes under a configurable directory
+  (``REPRO_LP_CACHE_DIR`` or ``repro.lp.diskcache.set_cache_dir``).
+  Memory misses fall through to disk before the solver runs; fresh
+  optima are written back.  ``repro cache`` inspects/clears the store.
 - **Warm starts.**  After an exact solve, the optimal basis is remembered
   per *family* (default: the LP name up to the first ``"("``, so e.g.
   every ``SSR(...)`` instance shares one slot) as a tuple of stable
@@ -33,6 +38,7 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
+from repro.lp import diskcache
 from repro.lp.exact_simplex import ExactSimplexSolver
 from repro.lp.highs import HighsSolver
 from repro.lp.model import LinearProgram
@@ -49,6 +55,7 @@ CACHE_SIZE = 128
 
 _memo: "OrderedDict[str, LPSolution]" = OrderedDict()
 _warm_bases: Dict[str, Tuple] = {}
+_disk_hits = 0
 
 
 def canonical_key(lp: LinearProgram) -> str:
@@ -78,13 +85,20 @@ def canonical_key(lp: LinearProgram) -> str:
 
 
 def clear_cache() -> None:
-    """Drop all memoized solutions and warm-start bases."""
+    """Drop all in-process memoized solutions and warm-start bases.
+
+    The on-disk store (when enabled) is intentionally untouched — clear
+    it with :func:`repro.lp.diskcache.clear` or ``repro cache clear``.
+    """
     _memo.clear()
     _warm_bases.clear()
 
 
-def cache_stats() -> Dict[str, int]:
-    return {"memo_entries": len(_memo), "warm_families": len(_warm_bases)}
+def cache_stats() -> Dict[str, object]:
+    disk = diskcache.stats()
+    return {"memo_entries": len(_memo), "warm_families": len(_warm_bases),
+            "disk_enabled": disk["enabled"], "disk_entries": disk["entries"],
+            "disk_hits": _disk_hits}
 
 
 def _family_of(lp: LinearProgram) -> str:
@@ -92,10 +106,10 @@ def _family_of(lp: LinearProgram) -> str:
 
 
 def _solve_exact(lp: LinearProgram, warm_start: bool,
-                 family: Optional[str]) -> LPSolution:
+                 family: Optional[str], canonical: bool) -> LPSolution:
     fam = family if family is not None else _family_of(lp)
     warm = _warm_bases.get(fam) if warm_start else None
-    sol = ExactSimplexSolver().solve(lp, warm_basis=warm)
+    sol = ExactSimplexSolver().solve(lp, warm_basis=warm, canonical=canonical)
     if sol.optimal and sol.basis_labels is not None:
         _warm_bases[fam] = sol.basis_labels
     return sol
@@ -105,7 +119,8 @@ def solve(lp: LinearProgram, backend: str = "auto",
           exact_var_limit: int = EXACT_VAR_LIMIT,
           rationalize: bool = True, cache: bool = True,
           warm_start: bool = False,
-          family: Optional[str] = None) -> LPSolution:
+          family: Optional[str] = None,
+          canonical: bool = False) -> LPSolution:
     """Solve ``lp`` with the requested backend.
 
     Parameters
@@ -133,7 +148,13 @@ def solve(lp: LinearProgram, backend: str = "auto",
     family:
         Warm-start slot name; defaults to ``lp.name`` up to the first
         ``"("`` so same-shape LPs on different platforms share a slot.
+    canonical:
+        Exact backend only: lexicographically tie-break among optimal
+        vertices (see :class:`repro.lp.exact_simplex.ExactSimplexSolver`),
+        so the returned vertex no longer depends on pricing order.
+        Slower; opt in where downstream artifacts must be stable.
     """
+    global _disk_hits
     if backend not in ("exact", "highs", "auto"):
         raise ValueError(f"unknown backend {backend!r}")
     route = "exact" if backend == "exact" or (
@@ -142,14 +163,21 @@ def solve(lp: LinearProgram, backend: str = "auto",
 
     key = None
     if cache:
-        key = f"{route};{rationalize};{canonical_key(lp)}"
+        key = f"{route};{rationalize};{int(canonical)};{canonical_key(lp)}"
         hit = _memo.get(key)
         if hit is not None:
             _memo.move_to_end(key)
             return replace(hit, lp=lp)
+        disk_hit = diskcache.load(key)
+        if disk_hit is not None:
+            _disk_hits += 1
+            _memo[key] = disk_hit
+            if len(_memo) > CACHE_SIZE:
+                _memo.popitem(last=False)
+            return replace(disk_hit, lp=lp)
 
     if route == "exact":
-        sol = _solve_exact(lp, warm_start, family)
+        sol = _solve_exact(lp, warm_start, family, canonical)
     else:
         sol = HighsSolver().solve(lp)
 
@@ -166,4 +194,5 @@ def solve(lp: LinearProgram, backend: str = "auto",
         _memo[key] = replace(sol, lp=None)
         if len(_memo) > CACHE_SIZE:
             _memo.popitem(last=False)
+        diskcache.store(key, sol)  # no-op unless a cache dir is configured
     return sol

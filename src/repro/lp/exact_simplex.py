@@ -40,6 +40,13 @@ testing).  Design choices, in order of measured impact:
   Phase 2 usually needs a handful of pivots.  Infeasible crashes fall back
   to a cold start — a warm start can never change the optimum, only the
   route to it.
+- **Canonical vertex (opt-in).**  ``solve(lp, canonical=True)`` runs a
+  lexicographic phase 3 after optimality: over the optimal face it
+  minimizes ``x_0``, then ``x_1`` with ``x_0`` held at its minimum, and
+  so on.  The returned vertex is the lex-smallest optimal solution — a
+  function of the LP alone, independent of pricing rule, warm start, or
+  pivot history.  Tests that pin schedule/tree artifacts use this instead
+  of depending on Dantzig's tie-breaking.
 
 Bounds handling is unchanged from the dense solver: lower bounds are
 shifted out (``y = x - lb``), upper bounds become rows, Phase 1 minimizes
@@ -122,7 +129,8 @@ class ExactSimplexSolver:
 
     # ------------------------------------------------------------------
     def solve(self, lp: LinearProgram,
-              warm_basis: Optional[Sequence[Label]] = None) -> LPSolution:
+              warm_basis: Optional[Sequence[Label]] = None,
+              canonical: bool = False) -> LPSolution:
         if not lp.is_rational():
             raise ValueError(
                 "exact simplex requires int/Fraction data; convert the LP or "
@@ -317,6 +325,23 @@ class ExactSimplexSolver:
                         f"{iterations} pivots on {lp.name!r} "
                         f"({n} vars, {len(D)} rows)")
 
+        # ---------------- Phase 3 (opt-in): lexicographic tie-breaking --
+        if canonical:
+            cpivots, cdone = self._canonicalize(
+                D, W, basis, od, oden, limit=n_struct_slack, n=n,
+                budget=self.max_iterations - iterations)
+            iterations += cpivots
+            if not cdone:
+                # returning a half-canonicalized vertex as if it were
+                # canonical would get cached (memory and disk) under the
+                # canonical key and silently break the stability guarantee
+                return LPSolution(
+                    SolveStatus.ERROR, backend="exact-simplex", lp=lp,
+                    iterations=iterations,
+                    message=f"canonicalization hit the pivot budget after "
+                            f"{iterations} pivots on {lp.name!r}; raise "
+                            f"max_iterations or drop canonical=True")
+
         values: Dict[int, Fraction] = {}
         basic_structural = set()
         for i, bvar in enumerate(basis):
@@ -334,6 +359,68 @@ class ExactSimplexSolver:
                           values=values, backend="exact-simplex", exact=True,
                           lp=lp, iterations=iterations,
                           basis_labels=tuple(labels[b] for b in basis))
+
+    # ------------------------------------------------------------------
+    def _canonicalize(self, D: List[Row], W: List[int], basis: List[int],
+                      od: Row, oden: int, limit: int, n: int,
+                      budget: int) -> Tuple[int, bool]:
+        """Lexicographic phase 3: walk to the lex-smallest optimal vertex.
+
+        For ``j = 0 .. n-1``, minimize ``x_j`` over the current face,
+        then freeze it.  An entering column is eligible only when its
+        reduced cost is zero in the phase-2 objective row *and* every
+        frozen ``x_i`` row — such pivots change neither the optimum nor
+        any earlier minimum (their reduced-cost rows are literally
+        invariant: the entering column's coefficient in them is zero).
+        Bland's entering rule plus the smallest-basis-index ratio
+        tie-break guarantees termination on the (typically degenerate)
+        optimal face.  ``budget`` is the pivot allowance left from the
+        solver-wide ``max_iterations`` after phases 1-2.  Returns
+        ``(pivots performed, completed)``.
+        """
+        frozen: List[Row] = [od]
+        pivots = 0
+        for j in range(n):
+            # reduced-cost row of "minimize x_j" w.r.t. the current basis
+            rj: Row = {j: 1}
+            rden = 1
+            for i, bvar in enumerate(basis):
+                a = rj.get(bvar)
+                if a:
+                    rj, rden = _row_sub(rj, rden, a, D[i], W[i])
+            while True:
+                enter = -1
+                for c, v in rj.items():
+                    if (v < 0 and 0 <= c < limit
+                            and (enter < 0 or c < enter)
+                            and all(f.get(c, 0) == 0 for f in frozen)):
+                        enter = c
+                if enter < 0:
+                    break  # x_j at its lex minimum
+                if pivots >= budget:
+                    return pivots, False  # more work needed, none allowed
+                leave = -1
+                ln = ld = 1
+                for i in range(len(D)):
+                    a = D[i].get(enter, 0)
+                    if a > 0:
+                        r = D[i].get(RHS, 0)
+                        if leave < 0:
+                            leave, ln, ld = i, r, a
+                        else:
+                            diff = r * ld - ln * a
+                            if diff < 0 or (diff == 0
+                                            and basis[i] < basis[leave]):
+                                leave, ln, ld = i, r, a
+                if leave < 0:
+                    break  # cannot happen (y_j >= 0 bounds the descent)
+                self._pivot(D, W, basis, leave, enter)
+                a = rj.get(enter)
+                if a:
+                    rj, rden = _row_sub(rj, rden, a, D[leave], W[leave])
+                pivots += 1
+            frozen.append(rj)
+        return pivots, True
 
     # ------------------------------------------------------------------
     def _iterate(self, D: List[Row], W: List[int], basis: List[int],

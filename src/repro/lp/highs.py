@@ -14,7 +14,7 @@ from typing import Dict
 import numpy as np
 from scipy.optimize import linprog
 
-from repro.lp.model import EQ, GE, LE, LinearProgram
+from repro.lp.model import GE, LE, LinearProgram
 from repro.lp.solution import LPSolution, SolveStatus
 
 

@@ -19,7 +19,7 @@ fraction of time or a message rate, both >= 0).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 Number = Union[int, float, Fraction]
 

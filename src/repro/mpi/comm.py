@@ -12,7 +12,7 @@ makes the makespan-vs-throughput contrast of the introduction tangible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.reduce_op import ReduceProblem, solve_reduce
 from repro.core.scatter import ScatterProblem, solve_scatter, build_scatter_schedule

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.platform.graph import PlatformGraph
 

@@ -9,7 +9,7 @@ initialization bound of Section 3.4 (graph "width" I).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.platform.graph import NodeId, PlatformGraph
 

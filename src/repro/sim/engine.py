@@ -9,7 +9,7 @@ semantics (ties break in scheduling order, never by callback identity).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 
 class Engine:

@@ -269,32 +269,42 @@ def simulate_schedule(schedule: PeriodicSchedule,
 
 
 # ----------------------------------------------------------------------
-# convenience wrappers
+# registry dispatch + compatibility wrappers
 # ----------------------------------------------------------------------
+
+def simulate_collective(schedule: PeriodicSchedule, problem, n_periods: int,
+                        collective: Optional[str] = None, op=None,
+                        record_trace: bool = True) -> SimulationResult:
+    """Replay any registered collective's schedule.
+
+    The spec (resolved from the problem type, or named explicitly via
+    ``collective``) supplies the item semantics: where stamped instances
+    enter the platform, what each delivery must contain, and the combine
+    operator for compute tasks.  ``op`` overrides the reduction operator
+    for computing collectives (default :class:`SeqConcat`).
+    """
+    from repro.collectives import resolve_collective
+
+    spec = resolve_collective(problem, collective)
+    sem = spec.simulation(schedule, problem, op=op)
+    return simulate_schedule(schedule, sem.supplies, n_periods,
+                             combine=sem.combine, expected=sem.expected,
+                             record_trace=record_trace)
+
 
 def simulate_scatter(schedule: PeriodicSchedule, problem, n_periods: int,
                      record_trace: bool = True) -> SimulationResult:
     """Replay a scatter schedule: source supplies ``(k, seq)`` payloads and
     each delivery is checked for content and order."""
-    supplies = {}
-    for item in schedule.deliveries:
-        # item == ("msg", k): infinite supply at the source
-        supplies[(problem.source, item)] = (lambda it: (lambda seq: (it, seq)))(item)
-    expected = lambda item, seq: (item, seq)
-    return simulate_schedule(schedule, supplies, n_periods,
-                             expected=expected, record_trace=record_trace)
+    return simulate_collective(schedule, problem, n_periods,
+                               collective="scatter", record_trace=record_trace)
 
 
 def simulate_gossip(schedule: PeriodicSchedule, problem, n_periods: int,
                     record_trace: bool = True) -> SimulationResult:
     """Replay a gossip schedule (supply at each emitting source)."""
-    supplies = {}
-    for item in schedule.deliveries:
-        _tag, k, _l = item  # ("msg", k, l)
-        supplies[(k, item)] = (lambda it: (lambda seq: (it, seq)))(item)
-    expected = lambda item, seq: (item, seq)
-    return simulate_schedule(schedule, supplies, n_periods,
-                             expected=expected, record_trace=record_trace)
+    return simulate_collective(schedule, problem, n_periods,
+                               collective="gossip", record_trace=record_trace)
 
 
 def simulate_reduce(schedule: PeriodicSchedule, problem, n_periods: int,
@@ -304,22 +314,6 @@ def simulate_reduce(schedule: PeriodicSchedule, problem, n_periods: int,
     Leaf values are stamped per tree; every delivered ``v[0, n-1]`` must
     equal the sequential left-to-right reference reduction.
     """
-    n = problem.n_values
-    items = set()
-    for slot in schedule.slots:
-        for tr in slot.transfers:
-            items.add(tr.item)
-    for node, tasks in schedule.compute.items():
-        for ct in tasks:
-            items.add(ct.output)
-            items.update(ct.inputs)
-    supplies = {}
-    for item in items:
-        tag, interval, _tree = item
-        if tag == "val" and interval[0] == interval[1]:
-            j = interval[0]
-            supplies[(problem.owner(j), item)] = \
-                (lambda jj: (lambda seq: op.leaf(jj, seq)))(j)
-    expected = lambda item, seq: op.expected(n, seq)
-    return simulate_schedule(schedule, supplies, n_periods, combine=op.combine,
-                             expected=expected, record_trace=record_trace)
+    return simulate_collective(schedule, problem, n_periods,
+                               collective="reduce", op=op,
+                               record_trace=record_trace)

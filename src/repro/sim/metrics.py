@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 
 def completions_per_horizon(times: Sequence[object], horizon) -> int:

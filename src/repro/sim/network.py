@@ -16,8 +16,8 @@ their natural execution model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.platform.graph import NodeId, PlatformGraph
 from repro.sim.trace import Trace, TraceEvent

@@ -11,7 +11,7 @@ reordering, duplication or loss is caught.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 
 class SeqConcat:

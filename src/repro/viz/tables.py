@@ -1,7 +1,9 @@
-"""Fixed-width result tables for benchmark output.
+"""Fixed-width result tables for benchmark and CLI output.
 
 Benchmarks print paper-reported values next to measured ones; this keeps
 the formatting in one place so every experiment reads the same way.
+:func:`rates_table` renders any collective solution's send rates by
+dispatching the row formatting through the solution's registered spec.
 """
 
 from __future__ import annotations
@@ -27,3 +29,14 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     for row in cells:
         out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(out)
+
+
+def rates_table(solution, title: str = "send rates") -> str:
+    """Send-rates table of any collective solution (registry-dispatched).
+
+    The solution's spec chooses the headers and the per-commodity labels,
+    so every collective — including ones registered by downstream code —
+    renders through the same path.
+    """
+    headers, rows = solution.spec.rate_rows(solution)
+    return format_table(headers, rows, title=title)

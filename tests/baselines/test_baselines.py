@@ -3,18 +3,15 @@ the steady-state LP throughput dominates every baseline."""
 
 from fractions import Fraction
 
-import pytest
 
 from repro.baselines.reduce_baselines import (
     best_single_tree_throughput, binary_tree_reduce, flat_tree_reduce,
     single_tree_resource_load,
 )
 from repro.baselines.scatter_baselines import direct_scatter, spt_scatter_throughput
-from repro.core.reduce_op import ReduceProblem, solve_reduce
+from repro.core.reduce_op import ReduceProblem
 from repro.core.scatter import ScatterProblem, solve_scatter
-from repro.platform.examples import (
-    figure2_platform, figure2_targets, figure6_platform,
-)
+from repro.platform.examples import figure6_platform
 from repro.platform.generators import random_connected
 from repro.sim.operators import MatMul2x2Mod
 

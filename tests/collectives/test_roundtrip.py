@@ -1,0 +1,162 @@
+"""Full registry round-trip — build -> solve -> clean -> schedule ->
+simulate — for every registered collective, exercised through the single
+``solve_collective`` orchestrator.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.collectives import (
+    get_collective,
+    schedule_collective,
+    solve_collective,
+)
+from repro.core.flowclean import (
+    CleanCommodityPass,
+    PruneEpsilonRatesPass,
+    RemoveCyclesPass,
+)
+from repro.core.gossip import GossipProblem, GossipSolution, solve_gossip
+from repro.core.prefix import PrefixSolution, solve_prefix
+from repro.core.reduce_op import ReduceProblem, ReduceSolution, solve_reduce
+from repro.core.reduce_scatter import (
+    ReduceScatterProblem,
+    ReduceScatterSolution,
+    solve_reduce_scatter,
+)
+from repro.core.scatter import ScatterProblem, ScatterSolution, solve_scatter
+from repro.platform.examples import (
+    figure2_platform,
+    figure2_targets,
+    figure6_platform,
+)
+from repro.sim.executor import simulate_collective
+
+
+def _problems():
+    fig2 = figure2_platform()
+    tri = figure6_platform()
+    return {
+        "scatter": ScatterProblem(fig2, "Ps", figure2_targets()),
+        "reduce": ReduceProblem(tri, [0, 1, 2], target=0),
+        "gossip": GossipProblem(tri, [0, 1, 2], [0, 1, 2]),
+        "prefix": ReduceProblem(tri, [0, 1, 2], target=0),
+        "reduce-scatter": ReduceScatterProblem(tri, [0, 1, 2]),
+    }
+
+
+EXPECTED_TP = {"scatter": Fraction(1, 2), "reduce": 1}
+
+
+@pytest.mark.parametrize("name", ["scatter", "reduce", "gossip", "prefix",
+                                  "reduce-scatter"])
+class TestRoundTrip:
+    def test_solve_verify(self, name):
+        problem = _problems()[name]
+        sol = solve_collective(problem, collective=name, backend="exact")
+        assert sol.exact
+        assert sol.collective == name
+        assert sol.throughput > 0
+        assert sol.verify() == []
+        if name in EXPECTED_TP:
+            assert sol.throughput == EXPECTED_TP[name]
+        occ = sol.edge_occupation()
+        assert all(0 < o <= 1 for o in occ.values())
+
+    def test_schedule_and_simulate(self, name):
+        problem = _problems()[name]
+        sol = solve_collective(problem, collective=name, backend="exact")
+        spec = get_collective(name)
+        if not spec.has_schedule:
+            with pytest.raises(NotImplementedError):
+                schedule_collective(sol)
+            return
+        sched = schedule_collective(sol)
+        assert sched.validate() == []
+        res = simulate_collective(sched, problem, n_periods=30,
+                                  collective=name)
+        assert res.correct
+        assert res.completed_ops() > 0
+        # steady state can never beat the LP bound; for compute schedules
+        # completed_ops sums independent delivery streams, and
+        # reduce-scatter has one TP-rate stream group per block
+        streams = len(problem.blocks) if name == "reduce-scatter" else 1
+        bound = float(sol.throughput) * float(res.horizon) * streams
+        assert res.completed_ops() <= bound + 1e-9
+
+
+class TestWrapperEquivalence:
+    """The classic solve_* entry points are thin registry wrappers: same
+    types, same rates as the orchestrator."""
+
+    def test_scatter(self):
+        p = _problems()["scatter"]
+        a = solve_scatter(p, backend="exact")
+        b = solve_collective(p, backend="exact")  # resolved by type
+        assert isinstance(a, ScatterSolution) and isinstance(b, ScatterSolution)
+        assert a.throughput == b.throughput and a.send == b.send
+        assert a.paths.keys() == b.paths.keys()
+
+    def test_reduce(self):
+        p = _problems()["reduce"]
+        a = solve_reduce(p, backend="exact")
+        b = solve_collective(p, backend="exact")
+        assert isinstance(a, ReduceSolution) and isinstance(b, ReduceSolution)
+        assert a.send == b.send and a.cons == b.cons
+
+    def test_gossip(self):
+        p = _problems()["gossip"]
+        a = solve_gossip(p, backend="exact")
+        assert isinstance(a, GossipSolution)
+        assert a.verify() == []
+
+    def test_prefix(self):
+        p = _problems()["prefix"]
+        a = solve_prefix(p, backend="exact")
+        b = solve_collective(p, collective="prefix", backend="exact")
+        assert isinstance(a, PrefixSolution) and isinstance(b, PrefixSolution)
+        assert a.throughput == b.throughput and a.send == b.send
+
+    def test_reduce_scatter(self):
+        p = _problems()["reduce-scatter"]
+        a = solve_reduce_scatter(p, backend="exact")
+        assert isinstance(a, ReduceScatterSolution)
+        assert a.verify() == []
+
+
+class TestPassOverrides:
+    def test_scatter_without_clean_pass_keeps_raw_flow(self):
+        p = _problems()["scatter"]
+        raw = solve_collective(p, backend="exact",
+                               passes=[PruneEpsilonRatesPass()])
+        cleaned = solve_collective(p, backend="exact")
+        assert raw.throughput == cleaned.throughput
+        assert raw.paths is None  # no decomposition pass ran
+        assert cleaned.paths is not None
+
+    def test_reduce_with_explicit_pipeline_matches_default(self):
+        p = _problems()["reduce"]
+        a = solve_collective(p, backend="exact",
+                             passes=[PruneEpsilonRatesPass(),
+                                     RemoveCyclesPass()])
+        b = solve_collective(p, backend="exact")
+        assert a.send == b.send
+
+    def test_endpoint_pass_skipped_for_interval_commodities(self):
+        # CleanCommodityPass requires endpoints; reduce commodities have
+        # none, so the pass must be skipped rather than crash
+        p = _problems()["reduce"]
+        sol = solve_collective(p, backend="exact",
+                               passes=[PruneEpsilonRatesPass(),
+                                       CleanCommodityPass(),
+                                       RemoveCyclesPass()])
+        assert sol.verify() == []
+
+
+class TestFloatBackendRoundTrip:
+    def test_scatter_highs_verifies_with_tolerance(self):
+        p = _problems()["scatter"]
+        sol = solve_collective(p, backend="highs")
+        assert sol.throughput == pytest.approx(0.5)
+        assert sol.verify(tol=1e-7) == []

@@ -1,0 +1,80 @@
+"""The FlowPass pipeline: individual passes and composition rules."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.flowclean import (
+    CleanCommodityPass,
+    FlowContext,
+    FlowPass,
+    PruneEpsilonRatesPass,
+    RemoveCyclesPass,
+    prune_epsilon_rates,
+    run_passes,
+)
+
+
+class TestPruneEpsilonRates:
+    def test_drops_small_and_negative(self):
+        flow = {("a", "b"): 1e-12, ("b", "c"): -1e-12, ("c", "d"): 0.5}
+        assert prune_epsilon_rates(flow, eps=1e-9) == {("c", "d"): 0.5}
+
+    def test_exact_mode_drops_only_nonpositive(self):
+        flow = {("a", "b"): Fraction(1, 10**9), ("b", "c"): 0}
+        assert prune_epsilon_rates(flow, eps=0) == \
+            {("a", "b"): Fraction(1, 10**9)}
+
+    def test_pass_object(self):
+        ctx = FlowContext(commodity="x", flow={("a", "b"): 1e-12}, eps=1e-9)
+        PruneEpsilonRatesPass().run(ctx)
+        assert ctx.flow == {}
+
+
+class TestRemoveCyclesPass:
+    def test_cancels_cycle_keeps_path(self):
+        flow = {("s", "a"): 1, ("a", "t"): 1,
+                ("a", "b"): Fraction(1, 2), ("b", "a"): Fraction(1, 2)}
+        ctx = FlowContext(commodity="x", flow=flow)
+        RemoveCyclesPass().run(ctx)
+        assert ctx.flow == {("s", "a"): 1, ("a", "t"): 1}
+
+
+class TestCleanCommodityPass:
+    def test_produces_paths(self):
+        ctx = FlowContext(commodity="x",
+                          flow={("s", "a"): 1, ("a", "t"): 1},
+                          source="s", sink="t", demand=1)
+        CleanCommodityPass().run(ctx)
+        assert ctx.paths == [(["s", "a", "t"], 1)]
+
+    def test_requires_endpoints_flag_skips_in_pipeline(self):
+        ctx = FlowContext(commodity=(0, 1), flow={("s", "a"): 1})
+        out = run_passes([CleanCommodityPass()], ctx)
+        assert out.paths is None  # skipped: no endpoints
+        assert out.flow == {("s", "a"): 1}
+
+
+class TestRunPasses:
+    def test_order_matters_prune_then_clean(self):
+        flow = {("s", "a"): 1.0, ("a", "t"): 1.0, ("a", "x"): 1e-13}
+        ctx = FlowContext(commodity="m", flow=dict(flow), source="s",
+                          sink="t", demand=1.0, eps=1e-9)
+        run_passes([PruneEpsilonRatesPass(), CleanCommodityPass()], ctx)
+        assert ("a", "x") not in ctx.flow
+        assert sum(w for _, w in ctx.paths) == pytest.approx(1.0)
+
+    def test_custom_pass_composes(self):
+        class DoublePass(FlowPass):
+            name = "double"
+
+            def run(self, ctx):
+                ctx.flow = {e: 2 * f for e, f in ctx.flow.items()}
+
+        ctx = FlowContext(commodity="m", flow={("a", "b"): 3})
+        run_passes([DoublePass(), DoublePass()], ctx)
+        assert ctx.flow == {("a", "b"): 12}
+
+    def test_base_pass_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            FlowPass().run(FlowContext(commodity="m", flow={}))

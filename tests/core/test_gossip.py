@@ -4,11 +4,8 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core.gossip import (
-    GossipProblem, build_gossip_lp, build_gossip_schedule, solve_gossip,
-)
+from repro.core.gossip import (GossipProblem, build_gossip_schedule, solve_gossip)
 from repro.platform.generators import complete, ring
-from repro.platform.graph import PlatformGraph
 
 
 class TestProblem:

@@ -4,13 +4,9 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core.optimality import (
-    OptimalityPoint, is_monotone_nondecreasing, ratio_curve,
-    steady_state_lower_bound, upper_bound_ops,
-)
-from repro.core.prefix import build_prefix_lp, solve_prefix
+from repro.core.optimality import (is_monotone_nondecreasing, ratio_curve, steady_state_lower_bound, upper_bound_ops)
+from repro.core.prefix import solve_prefix
 from repro.core.reduce_op import ReduceProblem, solve_reduce
-from repro.platform.examples import figure6_platform, triangle_platform
 
 
 class TestPrefix:

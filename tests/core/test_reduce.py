@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.core.reduce_op import ReduceProblem, build_reduce_lp, solve_reduce
-from repro.platform.examples import figure6_platform, triangle_platform
+from repro.platform.examples import triangle_platform
 from repro.platform.generators import chain, clustered
 from repro.platform.graph import PlatformGraph
 

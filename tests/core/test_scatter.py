@@ -7,7 +7,6 @@ import pytest
 from repro.core.scatter import (
     ScatterProblem, build_scatter_lp, build_scatter_schedule, solve_scatter,
 )
-from repro.platform.examples import figure2_platform, figure2_targets
 from repro.platform.generators import chain, random_connected, star
 from repro.platform.graph import PlatformGraph
 

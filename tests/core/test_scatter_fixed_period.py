@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.core.scatter import (
     ScatterProblem, build_scatter_schedule_fixed_period, solve_scatter,

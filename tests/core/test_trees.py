@@ -2,15 +2,10 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.core import intervals as iv
 from repro.core.reduce_op import ReduceProblem, solve_reduce
-from repro.core.trees import (
-    ReductionTree, TreeExtractionError, TreeTask, TreeTransfer, extract_trees,
-    find_tree, incidence, solution_op_values, trees_weight_sum,
-)
-from repro.platform.examples import figure6_platform
+from repro.core.trees import (ReductionTree, TreeTask, TreeTransfer, extract_trees, find_tree, incidence, solution_op_values, trees_weight_sum)
 from repro.platform.generators import complete
 from repro.platform.graph import PlatformGraph
 

@@ -12,9 +12,6 @@ from repro.core.reduce_op import ReduceProblem, solve_reduce
 from repro.core.scatter import ScatterProblem, build_scatter_schedule, solve_scatter
 from repro.core.schedule import build_reduce_schedule
 from repro.core.trees import trees_weight_sum
-from repro.platform.examples import (
-    figure9_participants, figure9_platform, figure9_target,
-)
 from repro.platform.generators import clustered, tiers
 from repro.sim.executor import simulate_gossip, simulate_reduce, simulate_scatter
 from repro.sim.operators import MatMul2x2Mod

@@ -1,0 +1,111 @@
+"""Lexicographic tie-breaking (``canonical=True``) in the exact simplex."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.reduce_op import ReduceProblem, build_reduce_lp
+from repro.lp import ExactSimplexSolver, LinearProgram, solve
+from repro.lp.dispatch import clear_cache
+from repro.platform.examples import figure6_platform
+
+
+def _tie_lp():
+    """max x + y s.t. x + y <= 1: every point of the segment is optimal;
+    the lex-smallest vertex is (0, 1)."""
+    lp = LinearProgram("tie")
+    x = lp.var("x")
+    y = lp.var("y")
+    lp.add(x + y <= 1)
+    lp.maximize(x + y)
+    return lp
+
+
+class TestCanonicalVertex:
+    @pytest.mark.parametrize("pricing", ["dantzig", "bland"])
+    def test_lex_smallest_vertex_regardless_of_pricing(self, pricing):
+        sol = ExactSimplexSolver(pricing=pricing).solve(_tie_lp(),
+                                                        canonical=True)
+        assert sol.optimal and sol.objective == 1
+        assert sol.by_name("x") == 0
+        assert sol.by_name("y") == 1
+
+    def test_without_canonical_dantzig_picks_other_vertex(self):
+        # documents the sensitivity canonical mode removes: plain Dantzig
+        # enters x first and stays there
+        sol = ExactSimplexSolver().solve(_tie_lp())
+        assert sol.objective == 1
+        assert sol.by_name("x") == 1
+
+    def test_objective_never_changes(self):
+        lp = LinearProgram("deg")
+        v = [lp.var(f"x{i}") for i in range(4)]
+        lp.add(v[0] + v[1] <= Fraction(3, 2))
+        lp.add(v[1] + v[2] <= Fraction(3, 2))
+        lp.add(v[2] + v[3] <= Fraction(3, 2))
+        lp.maximize(v[0] + v[1] + v[2] + v[3])
+        plain = ExactSimplexSolver().solve(lp)
+        canon = ExactSimplexSolver().solve(lp, canonical=True)
+        assert plain.objective == canon.objective
+
+    def test_canonical_vertex_is_feasible_optimum_on_paper_lp(self):
+        problem = ReduceProblem(figure6_platform(), [0, 1, 2], target=0)
+        a = ExactSimplexSolver(pricing="dantzig").solve(
+            build_reduce_lp(problem), canonical=True)
+        b = ExactSimplexSolver(pricing="bland").solve(
+            build_reduce_lp(problem), canonical=True)
+        assert a.objective == b.objective == 1
+        assert a.named_values() == b.named_values()
+
+    def test_plain_pricings_differ_on_paper_lp(self):
+        # the alternate-optimum sensitivity this feature addresses
+        problem = ReduceProblem(figure6_platform(), [0, 1, 2], target=0)
+        a = ExactSimplexSolver(pricing="dantzig").solve(build_reduce_lp(problem))
+        b = ExactSimplexSolver(pricing="bland").solve(build_reduce_lp(problem))
+        assert a.objective == b.objective
+        assert a.named_values() != b.named_values()
+
+
+class TestBudget:
+    def _tie3_lp(self):
+        """max x+y+z s.t. x+y+z <= 1: canonicalization needs two pivots
+        (walk x -> y -> z) after a one-pivot phase 2."""
+        lp = LinearProgram("tie3")
+        x, y, z = lp.var("x"), lp.var("y"), lp.var("z")
+        lp.add(x + y + z <= 1)
+        lp.maximize(x + y + z)
+        return lp
+
+    def test_exhausted_budget_is_an_error_not_a_stale_vertex(self):
+        # max_iterations=2: phase 2 spends 1 pivot, leaving 1 for phase 3,
+        # which needs 2 — a half-canonicalized vertex must not be reported
+        # (and cached) as canonical
+        sol = ExactSimplexSolver(max_iterations=2).solve(self._tie3_lp(),
+                                                         canonical=True)
+        assert not sol.optimal
+        assert "canonicalization" in sol.message
+
+    def test_plain_solve_unaffected_by_budget_interplay(self):
+        sol = ExactSimplexSolver(max_iterations=2).solve(self._tie3_lp())
+        assert sol.optimal  # 1 pivot suffices without phase 3
+
+    def test_sufficient_budget_canonicalizes(self):
+        sol = ExactSimplexSolver(max_iterations=4).solve(self._tie3_lp(),
+                                                         canonical=True)
+        assert sol.optimal
+        assert sol.by_name("z") == 1 and sol.by_name("x") == 0
+
+
+class TestDispatchPlumbing:
+    def test_solve_canonical_flag(self):
+        clear_cache()
+        sol = solve(_tie_lp(), backend="exact", canonical=True)
+        assert sol.by_name("y") == 1
+
+    def test_cache_keys_distinguish_canonical(self):
+        clear_cache()
+        plain = solve(_tie_lp(), backend="exact")
+        canon = solve(_tie_lp(), backend="exact", canonical=True)
+        # a shared key would have returned the memoized plain vertex
+        assert plain.by_name("x") == 1
+        assert canon.by_name("x") == 0

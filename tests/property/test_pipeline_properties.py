@@ -10,7 +10,6 @@ These are the reproduction's load-bearing guarantees:
   simulated reduction values equal the non-commutative reference.
 """
 
-from fractions import Fraction
 
 from hypothesis import given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Unit tests for the periodic schedule executor."""
 
-from fractions import Fraction
 
 import pytest
 
@@ -12,7 +11,7 @@ from repro.sim.executor import (
     simulate_reduce, simulate_scatter,
 )
 from repro.sim.metrics import steady_throughput
-from repro.sim.operators import MatMul2x2Mod, SeqConcat
+from repro.sim.operators import MatMul2x2Mod
 
 
 @pytest.fixture(scope="module")

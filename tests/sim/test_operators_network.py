@@ -1,6 +1,5 @@
 """Unit tests for reduction operators and the greedy one-port network."""
 
-import pytest
 
 from repro.platform.examples import figure2_platform
 from repro.platform.graph import PlatformGraph

@@ -65,7 +65,56 @@ class TestGossipCommand:
         assert "period =" in out and "correct=True" in out
 
 
+class TestPrefixCommand:
+    def test_triangle(self, tmp_path, capsys):
+        from repro.platform.examples import figure6_platform
+
+        path = str(tmp_path / "tri.json")
+        save_platform(figure6_platform(), path)
+        rc = main(["prefix", "--platform", path, "--participants", "0,1,2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TP =" in out and "send rates" in out
+
+
+class TestReduceScatterCommand:
+    def test_triangle(self, tmp_path, capsys):
+        from repro.platform.examples import figure6_platform
+
+        path = str(tmp_path / "tri.json")
+        save_platform(figure6_platform(), path)
+        rc = main(["reduce-scatter", "--platform", path,
+                   "--participants", "0,1,2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TP =" in out and "block 0" in out and "block 2" in out
+
+    def test_with_schedule_and_sim(self, tmp_path, capsys):
+        from repro.platform.examples import figure6_platform
+
+        path = str(tmp_path / "tri.json")
+        save_platform(figure6_platform(), path)
+        rc = main(["reduce-scatter", "--platform", path,
+                   "--participants", "0,1,2", "--schedule", "--simulate",
+                   "--periods", "20"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "period =" in out and "correct=True" in out
+
+
+class TestCollectivesCommand:
+    def test_lists_all_registered(self, capsys):
+        assert main(["collectives"]) == 0
+        out = capsys.readouterr().out
+        for name in ("scatter", "reduce", "gossip", "prefix",
+                     "reduce-scatter"):
+            assert name in out
+        assert "registered collectives" in out
+
+
 class TestDemoCommand:
+    """Every demo subcommand runs clean (the registry acceptance bar)."""
+
     def test_fig2(self, capsys):
         assert main(["demo", "fig2"]) == 0
         assert "paper: 1/2" in capsys.readouterr().out
@@ -74,6 +123,17 @@ class TestDemoCommand:
         assert main(["demo", "fig6"]) == 0
         assert "paper: 1" in capsys.readouterr().out
 
+    def test_fig9(self, capsys):
+        assert main(["demo", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Tiers platform reduce" in out and "tree (weight" in out
+
+    def test_reduce_scatter(self, capsys):
+        assert main(["demo", "reduce-scatter"]) == 0
+        out = capsys.readouterr().out
+        assert "Reduce-scatter" in out and "block 0" in out
+        assert "period =" in out
+
     def test_unknown_demo_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["demo", "fig99"])
@@ -81,3 +141,34 @@ class TestDemoCommand:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCacheCommand:
+    def test_info_disabled(self, capsys, monkeypatch):
+        from repro.lp import diskcache
+
+        monkeypatch.setattr(diskcache, "_cache_dir", None)
+        monkeypatch.setattr(diskcache, "_env_checked", True)
+        assert main(["cache", "info"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+    def test_info_and_clear_with_dir(self, tmp_path, plat_file, capsys,
+                                     monkeypatch):
+        from repro.lp import diskcache
+        from repro.lp.dispatch import clear_cache
+
+        cache_dir = str(tmp_path / "lpcache")
+        diskcache.set_cache_dir(cache_dir)
+        clear_cache()
+        try:
+            main(["scatter", "--platform", plat_file, "--source", "Ps",
+                  "--targets", "P0,P1"])
+            capsys.readouterr()
+            assert main(["cache", "info", "--dir", cache_dir]) == 0
+            out = capsys.readouterr().out
+            assert "1 entries" in out
+            assert main(["cache", "clear", "--dir", cache_dir]) == 0
+            assert "removed 1" in capsys.readouterr().out
+        finally:
+            diskcache.set_cache_dir(None)
+            clear_cache()
