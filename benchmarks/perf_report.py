@@ -1,27 +1,32 @@
-"""Perf-report helper: times the LP hot paths and writes ``BENCH_PR1.json``.
+"""Perf-report helper: times the exact-LP hot path and writes
+``BENCH_PR3.json``.
 
-Measures, per case:
+The measured path is the one ``repro.lp.solve`` takes for an exact solve
+(cold, no cache): :func:`repro.lp.presolve.presolve`, the indexed
+fraction-free simplex (:class:`repro.lp.exact_simplex.ExactSimplexSolver`,
+Devex pricing), and the postsolve map back to original variables.  Per
+case:
 
 - ``build_s`` — LP model construction (the ``lin_sum``/``add_term`` path),
-- ``exact_solve_s`` — the sparse fraction-free simplex
-  (:class:`repro.lp.exact_simplex.ExactSimplexSolver`), cold, no cache,
-- ``dense_solve_s`` — the original dense ``Fraction`` tableau
-  (:class:`repro.lp.dense_simplex.DenseSimplexSolver`), i.e. the *before*
-  of this PR — only re-measured live where it finishes in a few seconds.
+- ``presolve_s`` / ``presolved_vars`` / ``presolved_rows`` — reduction
+  cost and how much of the model it removes,
+- ``exact_solve_s`` — presolve + simplex + postsolve, end to end,
+- ``before_exact_solve_s`` — the same case under the PR 1 solver (dense
+  → sparse era): read from the committed ``BENCH_PR1.json`` where the
+  case existed, else the timing recorded once on this machine when this
+  baseline was created (``"recorded": true``).  ``ring48_scatter`` also
+  sat beyond the old ``EXACT_VAR_LIMIT = 2000``, so its "before" never
+  ran inside the auto-dispatch pipeline at all.
 
-Cases past that horizon carry the dense timing recorded once on the seed
-code (same machine as the committed baseline); they are marked
-``"recorded": true``.  The Figure 9–12 tier never finished under the dense
-solver (killed at 300 s), so its *before* is a lower bound.
+``BENCH_PR1.json`` is the frozen PR 1 record (dense-vs-sparse); it is no
+longer rewritten.  Run this module to (re)generate the live baseline::
 
-Run as a script to (re)generate the committed baseline::
-
-    PYTHONPATH=src python benchmarks/perf_report.py            # fast cases
-    PYTHONPATH=src python benchmarks/perf_report.py --full     # + slow dense
+    PYTHONPATH=src python benchmarks/perf_report.py
 
 ``benchmarks/test_perf_lp.py`` drives the same machinery inside the test
-suite, and ``tests/perf/test_perf_smoke.py`` guards the committed baseline
-against >2× regressions of the fig9-tier exact solve.
+suite, and ``tests/perf/test_perf_smoke.py`` guards the committed
+``BENCH_PR3.json`` against >2× regressions of the fig9 tier and the two
+scaled tiers (``complete7_reduce``, ``ring48_scatter``).
 """
 
 from __future__ import annotations
@@ -35,30 +40,27 @@ from typing import Callable, Dict, Optional
 
 from repro.core.reduce_op import ReduceProblem, build_reduce_lp
 from repro.core.scatter import ScatterProblem, build_scatter_lp
-from repro.lp.dense_simplex import DenseSimplexSolver
 from repro.lp.exact_simplex import ExactSimplexSolver
 from repro.lp.model import LinearProgram, lin_sum
+from repro.lp.presolve import presolve
 from repro.platform.examples import (
     figure2_platform, figure2_targets, figure6_platform,
     figure9_participants, figure9_platform, figure9_target,
 )
 from repro.platform.generators import complete, ring
 
-REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+PR1_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 
-#: Dense-solver (pre-PR) timings measured once on the seed code, on the
-#: same machine that produced the committed baseline.  Cases cheap enough
-#: to re-measure live are NOT listed here.
-RECORDED_DENSE_SECONDS = {
-    "complete5_reduce": 14.29,
-    "complete6_reduce": 152.59,
-    # killed after 300 s without finishing phase 1 — a lower bound
-    "fig9_reduce": 300.0,
-    "ring24_scatter": 124.07,
+#: PR 1-solver timings for cases that did not exist in ``BENCH_PR1.json``,
+#: measured once on the machine that produced the committed baseline.
+RECORDED_PR1_SECONDS = {
+    # priced phase 1 + Dantzig thrashed the degenerate optimal face
+    "complete7_reduce": 254.2,
+    # 4419 vars: beyond the old EXACT_VAR_LIMIT=2000 (auto-dispatch sent
+    # it to HiGHS); timing is the PR 1 solver run directly
+    "ring48_scatter": 2.80,
 }
-
-#: Cases whose recorded "before" is a timeout lower bound, not a finish.
-DENSE_LOWER_BOUNDS = {"fig9_reduce"}
 
 
 def _fig9_problem() -> ReduceProblem:
@@ -67,7 +69,7 @@ def _fig9_problem() -> ReduceProblem:
 
 
 def _cases() -> Dict[str, Callable[[], LinearProgram]]:
-    """name -> LP builder.  Paper-scale cases first, then 5–10× scaled."""
+    """name -> LP builder.  Paper-scale cases first, then 5–20× scaled."""
     def fig2_scatter():
         g = figure2_platform()
         return build_scatter_lp(ScatterProblem(g, "Ps", figure2_targets()))
@@ -82,9 +84,8 @@ def _cases() -> Dict[str, Callable[[], LinearProgram]]:
         g = complete(n, cost=1)
         return build_reduce_lp(ReduceProblem(g, g.nodes(), g.nodes()[0]))
 
-    def ring24_scatter():
-        # ~10× the Figure 2 scatter: 24-node ring, all non-sources targets
-        g = ring(24, cost=1)
+    def ring_scatter(n):
+        g = ring(n, cost=1)
         nodes = g.nodes()
         return build_scatter_lp(ScatterProblem(g, nodes[0], nodes[1:]))
 
@@ -93,8 +94,11 @@ def _cases() -> Dict[str, Callable[[], LinearProgram]]:
         "fig6_reduce": fig6_reduce,
         "complete5_reduce": lambda: complete_reduce(5),
         "complete6_reduce": lambda: complete_reduce(6),
-        "ring24_scatter": ring24_scatter,
+        "ring24_scatter": lambda: ring_scatter(24),
         "fig9_reduce": fig9_reduce,
+        # the PR 3 tiers: previously near-minute or outside the exact path
+        "complete7_reduce": lambda: complete_reduce(7),
+        "ring48_scatter": lambda: ring_scatter(48),
     }
 
 
@@ -105,102 +109,107 @@ def _time(fn: Callable[[], object]) -> float:
 
 
 def bench_case(name: str, build: Callable[[], LinearProgram],
-               dense_budget_s: float = 2.5) -> Dict[str, object]:
-    """Time build + exact solve; dense solve only if its recorded/expected
-    cost fits ``dense_budget_s`` (pass ``float('inf')`` to force it)."""
+               pr1_cases: Dict[str, dict]) -> Dict[str, object]:
+    """Time build + presolve + exact solve + postsolve (cold, no cache)."""
     t0 = time.perf_counter()
     lp = build()
     build_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    sol = ExactSimplexSolver().solve(lp)
-    exact_s = time.perf_counter() - t0
+    pr = presolve(lp)
+    presolve_s = time.perf_counter() - t0
+    if pr.infeasible:
+        raise RuntimeError(f"{name}: presolve claims infeasible")
+
+    t0 = time.perf_counter()
+    sol = ExactSimplexSolver().solve(pr.lp)
+    solve_s = time.perf_counter() - t0
     if not sol.optimal:
         raise RuntimeError(f"{name}: exact solve failed: {sol.status}")
+
+    t0 = time.perf_counter()
+    values = pr.postsolve.values(sol.values)
+    objective = lp.objective.evaluate(values)
+    postsolve_s = time.perf_counter() - t0
 
     entry: Dict[str, object] = {
         "vars": lp.num_vars(),
         "constraints": lp.num_constraints(),
         "build_s": round(build_s, 5),
-        "exact_solve_s": round(exact_s, 5),
+        "presolve_s": round(presolve_s, 5),
+        "presolved_vars": pr.lp.num_vars(),
+        "presolved_rows": pr.lp.num_constraints(),
+        "exact_solve_s": round(presolve_s + solve_s + postsolve_s, 5),
         "iterations": sol.iterations,
-        "objective": str(sol.objective),
+        "objective": str(objective),
     }
 
-    recorded = RECORDED_DENSE_SECONDS.get(name)
-    if recorded is not None and recorded > dense_budget_s:
-        entry["dense_solve_s"] = recorded
+    before: Optional[float] = None
+    pr1 = pr1_cases.get(name)
+    if pr1 is not None:
+        before = float(pr1["exact_solve_s"])
+    elif name in RECORDED_PR1_SECONDS:
+        before = RECORDED_PR1_SECONDS[name]
         entry["recorded"] = True
-        if name in DENSE_LOWER_BOUNDS:
-            entry["dense_lower_bound"] = True
-    else:
-        dense_sol = None
-        t0 = time.perf_counter()
-        dense_sol = DenseSimplexSolver().solve(build())
-        entry["dense_solve_s"] = round(time.perf_counter() - t0, 5)
-        if dense_sol.objective != sol.objective:
-            raise RuntimeError(f"{name}: dense/exact objective mismatch")
-    entry["speedup_x"] = round(
-        float(entry["dense_solve_s"]) / max(exact_s, 1e-9), 1)
+    if before is not None:
+        entry["before_exact_solve_s"] = before
+        entry["speedup_x"] = round(
+            before / max(presolve_s + solve_s + postsolve_s, 1e-9), 1)
     return entry
 
 
 def bench_model_building() -> Dict[str, object]:
-    """Micro-benchmark of expression building (the old O(n²) hot spot)."""
+    """Micro-benchmark of expression building (the PR 1 O(n²) hot spot)."""
     lp = LinearProgram("micro")
     xs = [lp.var(f"x{i}") for i in range(3000)]
     lin_sum_s = _time(lambda: lin_sum(xs))
     fig9_build_s = _time(lambda: build_reduce_lp(_fig9_problem()))
     return {
         "lin_sum_3000_terms_s": round(lin_sum_s, 5),
-        # measured on the seed code (copy-per-+= lin_sum): 0.063 s
-        "lin_sum_3000_terms_before_s": 0.063,
         "fig9_lp_build_s": round(fig9_build_s, 5),
-        # measured on the seed code: 0.179 s
-        "fig9_lp_build_before_s": 0.179,
     }
 
 
-def run(full: bool = False,
-        only: Optional[set] = None) -> Dict[str, object]:
-    budget = float("inf") if full else 2.5
+def run(only: Optional[set] = None) -> Dict[str, object]:
+    pr1_cases: Dict[str, dict] = {}
+    if PR1_PATH.exists():
+        pr1_cases = json.loads(PR1_PATH.read_text()).get("cases", {})
     cases: Dict[str, object] = {}
     for name, build in _cases().items():
         if only is not None and name not in only:
             continue
-        cases[name] = bench_case(name, build, dense_budget_s=budget)
+        cases[name] = bench_case(name, build, pr1_cases)
     return {
         "meta": {
-            "pr": 1,
-            "description": "sparse fraction-free exact simplex + linear-time "
-                           "model building (before = dense Fraction tableau)",
+            "pr": 3,
+            "description": "LP presolve + indexed fraction-free simplex with "
+                           "Devex pricing (before = the PR 1 sparse solver, "
+                           "see BENCH_PR1.json)",
             "python": _platform.python_version(),
             "machine": _platform.machine(),
-            "full_dense_remeasure": full,
         },
         "model_building": bench_model_building(),
         "cases": cases,
     }
 
 
-def write_report(path: Path = REPORT_PATH, full: bool = False) -> Dict[str, object]:
-    report = run(full=full)
+def write_report(path: Path = REPORT_PATH,
+                 only: Optional[set] = None) -> Dict[str, object]:
+    report = run(only=only)
     path.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--full", action="store_true",
-                    help="re-measure the dense solver even on slow cases")
     ap.add_argument("--out", type=Path, default=REPORT_PATH)
     args = ap.parse_args()
-    report = write_report(args.out, full=args.full)
+    report = write_report(args.out)
     for name, c in report["cases"].items():
-        lb = " (lower bound)" if c.get("dense_lower_bound") else ""
-        print(f"{name:>18}: {c['vars']:>5} vars  "
-              f"dense {c['dense_solve_s']:>8}s{lb}  "
-              f"exact {c['exact_solve_s']:>8}s  ({c['speedup_x']}x)")
+        before = c.get("before_exact_solve_s", "-")
+        speed = f"  ({c['speedup_x']}x)" if "speedup_x" in c else ""
+        print(f"{name:>18}: {c['vars']:>5} vars -> {c['presolved_vars']:>5}"
+              f"  pr1 {before:>8}s  now {c['exact_solve_s']:>8}s{speed}")
     print(f"wrote {args.out}")
 
 

@@ -24,7 +24,7 @@ def _problem():
 
 def test_fig6_lp_throughput(benchmark, report):
     problem = _problem()
-    sol = benchmark(lambda: solve_reduce(problem, backend="exact"))
+    sol = benchmark(lambda: solve_reduce(problem, backend="exact", canonical=True))
     report.row("Fig 6: steady-state reduce throughput TP", 1, sol.throughput)
     report.row("Fig 6: reductions per 3 time-units", 3, sol.throughput * 3)
     assert sol.throughput == 1
@@ -33,7 +33,7 @@ def test_fig6_lp_throughput(benchmark, report):
 
 def test_fig6_pipelined_schedule(benchmark, report):
     problem = _problem()
-    sol = solve_reduce(problem, backend="exact")
+    sol = solve_reduce(problem, backend="exact", canonical=True)
     sched = build_reduce_schedule(sol)
     res = benchmark(lambda: simulate_reduce(sched, problem, n_periods=60,
                                             record_trace=False))
@@ -49,7 +49,7 @@ def test_fig6_pipelined_schedule(benchmark, report):
 
 def test_fig7_reduction_trees(benchmark, report):
     problem = _problem()
-    sol = solve_reduce(problem, backend="exact")
+    sol = solve_reduce(problem, backend="exact", canonical=True)
     trees = benchmark(lambda: extract_trees(sol))
     weights = sorted(Fraction(t.weight) for t in trees)
     report.row("Fig 7: tree throughputs sum to TP", 1, trees_weight_sum(trees))
@@ -64,7 +64,7 @@ def test_fig7_reduction_trees(benchmark, report):
 
 def test_fig6_matmul_validation(benchmark, report):
     problem = _problem()
-    sol = solve_reduce(problem, backend="exact")
+    sol = solve_reduce(problem, backend="exact", canonical=True)
     sched = build_reduce_schedule(sol)
     res = benchmark(lambda: simulate_reduce(sched, problem, n_periods=40,
                                             op=MatMul2x2Mod,

@@ -1,56 +1,71 @@
-"""PR 1 perf benchmark: LP solver/model hot paths, writes ``BENCH_PR1.json``.
+"""PR 3 perf benchmark: the presolved exact-LP path, writes
+``BENCH_PR3.json``.
 
-Seeds the repo's perf trajectory: the headline is the sparse fraction-free
-exact simplex replacing the dense Fraction tableau — ≥10× on every
-paper-tier platform (the Figure 9–12 tier never *finished* under the dense
-solver; its "before" is a 300 s lower bound) — plus linear-time model
-building and the raised exact-dispatch limit (the fig9 tier's 1894-variable
-LP now solves exactly in-process).
+The headline is LP presolve (dominated/duplicate one-port rows vanish)
+plus the reworked simplex — exact column index, feasible-crash phase 1
+with Markowitz basis repair, partial pricing and Devex weights.  The fig9
+tier runs ≥2× faster than the PR 1 solver, ``complete7_reduce`` drops
+from ~4 minutes (Dantzig thrashing a degenerate face) to well under a
+second, and ``ring48_scatter`` (4419 vars) moves inside the exact
+dispatch limit (2000 → 5000) for the first time.
 
-The committed ``BENCH_PR1.json`` doubles as the regression baseline for
-``tests/perf/test_perf_smoke.py``.
+The committed ``BENCH_PR3.json`` doubles as the regression baseline for
+``tests/perf/test_perf_smoke.py``; ``BENCH_PR1.json`` stays frozen as the
+PR 1 (dense → sparse) record.
 """
 
+import os
 from fractions import Fraction
 
 import perf_report
 
 from repro.lp import dispatch
 from repro.lp.exact_simplex import ExactSimplexSolver
+from repro.lp.presolve import presolve
 
 
-def test_perf_lp_report(benchmark, report):
-    rep = perf_report.write_report()
+def test_perf_lp_report(benchmark, report, tmp_path):
+    # measure into a scratch file: the committed BENCH_PR3.json is the
+    # quiet-machine baseline the smoke test guards, and rewriting it
+    # under full-suite load would poison it with noisy timings
+    rep = perf_report.write_report(tmp_path / "BENCH_PR3.json")
     cases = rep["cases"]
 
     fig9 = cases["fig9_reduce"]
-    # the fig9 tier (and every >=1000-var case) must fit the default
-    # exact dispatch limit, and the exact optimum must be the paper's 2/9
-    assert fig9["vars"] >= 1000
-    assert fig9["vars"] <= dispatch.EXACT_VAR_LIMIT
     assert Fraction(fig9["objective"]) == Fraction(2, 9)
-    assert cases["ring24_scatter"]["vars"] >= 1000
+    assert fig9["vars"] <= dispatch.EXACT_VAR_LIMIT
 
-    # >=10x on the exact solves of the paper-tier platforms
-    for name in ("complete5_reduce", "complete6_reduce", "fig9_reduce"):
-        assert cases[name]["speedup_x"] >= 10, (name, cases[name])
+    # the ring48 tier only exists on the exact path because of the raised
+    # limit: beyond the old 2000, inside the new 5000
+    ring48 = cases["ring48_scatter"]
+    assert 2000 < ring48["vars"] <= dispatch.EXACT_VAR_LIMIT
 
-    # model building is linear now: summing 3000 terms is sub-millisecond
-    mb = rep["model_building"]
-    assert mb["lin_sum_3000_terms_s"] < mb["lin_sum_3000_terms_before_s"]
+    # presolve must bite on every collective LP (the one-port structure
+    # guarantees dominated/duplicate rows)
+    for name, c in cases.items():
+        assert c["presolved_rows"] < c["constraints"], (name, c)
+
+    # live sanity bounds with wide margins (this run may share the box
+    # with the rest of the suite; "before" values are baseline-machine,
+    # so honour REPRO_PERF_FACTOR like the smoke guard does): the strict
+    # fig9 2×-vs-PR1 acceptance bar is pinned on the committed baselines
+    # by tests/perf/test_perf_smoke.py, same machine for both
+    factor = max(1.0, float(os.environ.get("REPRO_PERF_FACTOR", "1") or 1))
+    assert fig9["speedup_x"] >= 1.2 / factor, fig9
+    assert cases["complete7_reduce"]["speedup_x"] >= 50, \
+        cases["complete7_reduce"]
+    assert cases["complete7_reduce"]["exact_solve_s"] < 30
+    assert ring48["exact_solve_s"] < 30
 
     for name, c in cases.items():
-        lb = " (lower bound)" if c.get("dense_lower_bound") else ""
-        report.row(f"PR1: {name} ({c['vars']} vars) dense->sparse",
-                   ">=10x on paper tiers",
-                   f"{c['dense_solve_s']}s{lb} -> {c['exact_solve_s']}s "
-                   f"({c['speedup_x']}x)")
-    report.row("PR1: lin_sum 3000 terms", "(not in paper)",
-               f"{mb['lin_sum_3000_terms_before_s']}s -> "
-               f"{mb['lin_sum_3000_terms_s']}s")
-    report.line(f"PR1: baseline written to {perf_report.REPORT_PATH.name}; "
+        before = c.get("before_exact_solve_s", "-")
+        speed = f" ({c['speedup_x']}x)" if "speedup_x" in c else ""
+        report.row(f"PR3: {name} ({c['vars']}->{c['presolved_vars']} vars)",
+                   "fig9 >= 2x vs PR1",
+                   f"{before}s -> {c['exact_solve_s']}s{speed}")
+    report.line(f"PR3: baseline written to {perf_report.REPORT_PATH.name}; "
                 "tests/perf/test_perf_smoke.py fails on >2x regressions.")
 
-    # timed headline: cold exact solve of the fig9-tier LP
+    # timed headline: cold presolve + exact solve of the fig9-tier LP
     lp = perf_report._cases()["fig9_reduce"]()
-    benchmark(lambda: ExactSimplexSolver().solve(lp))
+    benchmark(lambda: ExactSimplexSolver().solve(presolve(lp).lp))

@@ -173,8 +173,11 @@ def _cmd_cache(args) -> int:
             print("LP disk cache disabled (set REPRO_LP_CACHE_DIR or pass "
                   "--dir)")
         else:
+            limit = ("unbounded" if not st["max_bytes"]
+                     else f"{st['max_bytes']} bytes "
+                          f"(LRU eviction, REPRO_LP_CACHE_MAX_BYTES)")
             print(f"LP disk cache at {st['dir']}: {st['entries']} entries, "
-                  f"{st['bytes']} bytes")
+                  f"{st['bytes']} bytes; limit {limit}")
     elif args.action == "clear":
         removed = diskcache.clear(root)
         print(f"removed {removed} cached solution(s)")

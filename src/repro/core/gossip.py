@@ -120,13 +120,14 @@ class GossipSolution(CollectiveSolution):
 
 
 def solve_gossip(problem: GossipProblem, backend: str = "auto",
-                 eps: float = 1e-9) -> GossipSolution:
+                 eps: float = 1e-9, **solve_kwargs) -> GossipSolution:
     """Solve ``SSPA2A(G)`` and clean each commodity's flow (registry-backed
-    wrapper over :func:`repro.collectives.solve_collective`)."""
+    wrapper over :func:`repro.collectives.solve_collective`; extra
+    keywords reach :func:`repro.lp.solve`)."""
     from repro.collectives import solve_collective
 
     return solve_collective(problem, collective="gossip", backend=backend,
-                            eps=eps)
+                            eps=eps, **solve_kwargs)
 
 
 def build_gossip_schedule(solution: GossipSolution):

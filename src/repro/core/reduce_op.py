@@ -234,11 +234,13 @@ class ReduceSolution(CollectiveSolution):
 
 
 def solve_reduce(problem: ReduceProblem, backend: str = "auto",
-                 eps: float = 1e-9) -> ReduceSolution:
+                 eps: float = 1e-9, **solve_kwargs) -> ReduceSolution:
     """Solve ``SSR(G)``; per-interval transfer cycles are cancelled so tree
     extraction terminates (see DESIGN.md decision 3).  Registry-backed
-    wrapper over :func:`repro.collectives.solve_collective`."""
+    wrapper over :func:`repro.collectives.solve_collective`; extra
+    keywords (``canonical``, ``warm_start``, ...) reach
+    :func:`repro.lp.solve`."""
     from repro.collectives import solve_collective
 
     return solve_collective(problem, collective="reduce", backend=backend,
-                            eps=eps)
+                            eps=eps, **solve_kwargs)

@@ -153,17 +153,18 @@ class ScatterSolution(CollectiveSolution):
 
 
 def solve_scatter(problem: ScatterProblem, backend: str = "auto",
-                  eps: float = 1e-9) -> ScatterSolution:
+                  eps: float = 1e-9, **solve_kwargs) -> ScatterSolution:
     """Solve ``SSSP(G)`` and return cleaned per-type flows.
 
     Thin registry-backed wrapper over
     :func:`repro.collectives.solve_collective`; ``eps`` is the zero
-    threshold used when the LP came back in floats.
+    threshold used when the LP came back in floats; extra keywords
+    (``canonical``, ``warm_start``, ...) reach :func:`repro.lp.solve`.
     """
     from repro.collectives import solve_collective
 
     return solve_collective(problem, collective="scatter", backend=backend,
-                            eps=eps)
+                            eps=eps, **solve_kwargs)
 
 
 def build_scatter_schedule(solution: ScatterSolution):

@@ -104,9 +104,12 @@ class PeriodicSchedule:
             rcv: Dict[NodeId, object] = {}
             for slot in self.slots:
                 dur = slot.duration
-                for t in slot.transfers:
-                    snd[t.src] = snd.get(t.src, 0) + dur
-                    rcv[t.dst] = rcv.get(t.dst, 0) + dur
+                # several message types on the same (src, dst) pair
+                # serialize inside the slot (see validate()); the port is
+                # occupied for the slot duration once, not once per type
+                for i, j in {(t.src, t.dst) for t in slot.transfers}:
+                    snd[i] = snd.get(i, 0) + dur
+                    rcv[j] = rcv.get(j, 0) + dur
             self._busy_cache = (snd, rcv)
         return self._busy_cache
 

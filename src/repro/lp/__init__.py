@@ -11,12 +11,20 @@ provides the substrate from scratch:
   ``lin_sum`` and :meth:`LinExpr.add_term` accumulate in place, so the LP
   builders in :mod:`repro.core` stay O(terms) even on 5–10× scaled
   platforms.
+- :mod:`repro.lp.presolve` — fraction-preserving model shrinking run
+  before either backend: fixed variables, singleton/empty rows, zero
+  columns, duplicate and dominated one-port rows, free column
+  singletons; a ``Postsolve`` object maps the reduced solution back to
+  the original variable names, exactly.
 - :mod:`repro.lp.exact_simplex` — the production exact backend: a sparse
   fraction-free two-phase simplex (integer rows over a per-row common
-  denominator, Dantzig pricing with Bland fallback on degeneracy cycles,
-  artificial columns physically dropped after Phase 1, warm starts from a
+  denominator, an exact column index so pivots touch only rows with a
+  nonzero in the entering column, Devex partial pricing with Bland
+  fallback on degeneracy cycles, Markowitz basis repair instead of a
+  priced phase 1 when the crash basis is already feasible, artificial
+  columns physically dropped after Phase 1, warm starts from a
   label-addressed basis).  Bit-exact rational optima, exactly what the
-  lcm-of-denominators step needs, at ≥100× the speed of the dense tableau.
+  lcm-of-denominators step needs.
 - :mod:`repro.lp.dense_simplex` — the original dense ``Fraction`` tableau,
   kept as a slow-but-obviously-correct oracle for differential tests.
 - :mod:`repro.lp.highs` — a floating-point backend on
@@ -29,9 +37,10 @@ provides the substrate from scratch:
 
 Backend selection and warm starts
 ---------------------------------
-``solve(lp)`` (``backend="auto"``) picks the exact simplex whenever the LP
-is rational and has at most :data:`repro.lp.dispatch.EXACT_VAR_LIMIT`
-variables (2000 — comfortably above the Figure 9–12 tier's 1894), else
+``solve(lp)`` (``backend="auto"``) presolves rational LPs, then picks the
+exact simplex whenever the reduced model has at most
+:data:`repro.lp.dispatch.EXACT_VAR_LIMIT` variables (5000 — covering the
+48-node ring scatter tier's 4419), else
 HiGHS followed by verified rationalization.  Identical models are memoized
 under a canonical hash (:func:`repro.lp.dispatch.canonical_key`), so the
 pipeline's repeated ``solve_reduce`` calls cost one simplex run.  Exact

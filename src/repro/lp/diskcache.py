@@ -18,6 +18,14 @@ or truncated entries are treated as misses.  Only *optimal* solutions are
 stored, with the model stripped (``lp=None``) — the dispatch layer
 re-attaches the caller's LP on a hit, exactly like the in-memory cache.
 
+The store is **size-bounded with LRU eviction**: every ``store`` that
+pushes the directory past the byte limit (default
+:data:`DEFAULT_MAX_BYTES`; configure via ``REPRO_LP_CACHE_MAX_BYTES`` or
+:func:`set_cache_limit`, ``0`` = unbounded) deletes least-recently-*used*
+entries until the store fits again.  Recency is the file mtime, which
+``load`` refreshes on every hit, so hot entries survive; eviction races
+between parallel processes are harmless (a vanished file is just a miss).
+
 The ``repro cache`` CLI subcommand inspects and clears the store.
 """
 
@@ -34,6 +42,12 @@ from repro.lp.solution import LPSolution
 #: Environment variable naming the cache directory (lazily honoured).
 CACHE_DIR_ENV = "REPRO_LP_CACHE_DIR"
 
+#: Environment variable overriding the size limit in bytes (0 = unbounded).
+CACHE_MAX_BYTES_ENV = "REPRO_LP_CACHE_MAX_BYTES"
+
+#: Default size bound of the store (LRU entries beyond it are evicted).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
 #: File suffix of one stored solution.
 SUFFIX = ".lpsol"
 
@@ -43,6 +57,11 @@ FORMAT_VERSION = 1
 
 _cache_dir: Optional[str] = None
 _env_checked = False
+_max_bytes: Optional[int] = None  # resolved lazily (env or default)
+_evictions = 0
+#: per-directory running estimate of the store size, so the common case
+#: of a store well under the limit costs O(1) instead of a full scandir
+_approx_bytes: Dict[str, int] = {}
 
 
 def set_cache_dir(path: Optional[str]) -> Optional[str]:
@@ -76,6 +95,32 @@ def get_cache_dir() -> Optional[str]:
     return _cache_dir
 
 
+def set_cache_limit(max_bytes: Optional[int]) -> int:
+    """Set the store's size bound in bytes; ``0`` disables eviction,
+    ``None`` restores the default/environment setting.  Returns the
+    active limit."""
+    global _max_bytes
+    _max_bytes = None if max_bytes is None else max(0, int(max_bytes))
+    return get_cache_limit()
+
+
+def get_cache_limit() -> int:
+    """Active size bound in bytes (``0`` means unbounded).
+
+    Resolution order: :func:`set_cache_limit`, then
+    ``REPRO_LP_CACHE_MAX_BYTES``, then :data:`DEFAULT_MAX_BYTES`.
+    """
+    if _max_bytes is not None:
+        return _max_bytes
+    env = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_MAX_BYTES
+
+
 def _entry_path(root: str, key: str) -> str:
     return os.path.join(root, f"v{FORMAT_VERSION}-{key}{SUFFIX}")
 
@@ -92,7 +137,13 @@ def load(key: str) -> Optional[LPSolution]:
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
             ImportError, IndexError):
         return None
-    return sol if isinstance(sol, LPSolution) else None
+    if not isinstance(sol, LPSolution):
+        return None
+    try:
+        os.utime(path)  # refresh LRU recency on every hit
+    except OSError:
+        pass
+    return sol
 
 
 def store(key: str, sol: LPSolution) -> bool:
@@ -116,14 +167,81 @@ def store(key: str, sol: LPSolution) -> bool:
             raise
     except OSError:
         return False  # read-only / full disk: the cache is best-effort
+    limit = get_cache_limit()
+    if limit > 0:
+        # O(1) fast path: bump the running size estimate and only pay a
+        # full directory scan when it says the limit may be crossed (the
+        # estimate is refreshed from disk on every scan)
+        approx = _approx_bytes.get(root)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        if approx is None:
+            evict(root)
+        else:
+            _approx_bytes[root] = approx + size
+            if _approx_bytes[root] > limit:
+                evict(root)
     return True
 
 
+def evict(root: Optional[str] = None,
+          max_bytes: Optional[int] = None) -> int:
+    """Delete least-recently-used entries until the store fits the limit.
+
+    Over-limit stores shrink to 90 % of the limit (hysteresis, so a store
+    hovering at the boundary does not rescan on every write).  Runs
+    automatically from :func:`store` when the running size estimate
+    crosses the limit; callable directly for housekeeping.  Returns the
+    number of entries removed (0 when the store is disabled, unbounded,
+    or already within the limit).
+    """
+    global _evictions
+    root = root or get_cache_dir()
+    limit = get_cache_limit() if max_bytes is None else max_bytes
+    if root is None or limit <= 0:
+        return 0
+    entries = []
+    total = 0
+    try:
+        with os.scandir(root) as it:
+            for de in it:
+                if de.name.endswith(SUFFIX):
+                    try:
+                        st = de.stat()
+                    except OSError:
+                        continue
+                    entries.append((st.st_mtime, st.st_size, de.path))
+                    total += st.st_size
+    except OSError:
+        return 0
+    removed = 0
+    if total > limit:
+        target = limit * 9 // 10
+        entries.sort()  # oldest mtime first
+        for _mtime, size, path in entries:
+            if total <= target:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # parallel eviction/clear: fine, recount next time
+            total -= size
+            removed += 1
+        _evictions += removed
+    _approx_bytes[root] = total
+    return removed
+
+
 def stats(root: Optional[str] = None) -> Dict[str, object]:
-    """``{dir, enabled, entries, bytes}`` for ``root`` (default: active)."""
+    """``{dir, enabled, entries, bytes, max_bytes, evictions}`` for
+    ``root`` (default: active directory).  ``evictions`` counts entries
+    this process evicted; ``max_bytes == 0`` means unbounded."""
     root = root or get_cache_dir()
     if root is None:
-        return {"dir": None, "enabled": False, "entries": 0, "bytes": 0}
+        return {"dir": None, "enabled": False, "entries": 0, "bytes": 0,
+                "max_bytes": get_cache_limit(), "evictions": _evictions}
     entries = 0
     size = 0
     try:
@@ -137,7 +255,8 @@ def stats(root: Optional[str] = None) -> Dict[str, object]:
                         pass
     except OSError:
         pass
-    return {"dir": root, "enabled": True, "entries": entries, "bytes": size}
+    return {"dir": root, "enabled": True, "entries": entries, "bytes": size,
+            "max_bytes": get_cache_limit(), "evictions": _evictions}
 
 
 def clear(root: Optional[str] = None) -> int:
@@ -158,4 +277,5 @@ def clear(root: Optional[str] = None) -> int:
             removed += 1
         except OSError:
             pass
+    _approx_bytes.pop(root, None)
     return removed

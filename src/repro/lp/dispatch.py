@@ -1,10 +1,14 @@
-"""Backend auto-dispatch, solve memoization, and warm starts.
+"""Backend auto-dispatch, presolve, solve memoization, and warm starts.
 
-``backend="auto"`` sends rational LPs up to :data:`EXACT_VAR_LIMIT`
-variables to the exact sparse simplex (bit-exact rationals, as the paper's
+Rational LPs are shrunk by :mod:`repro.lp.presolve` first (on by
+default; exactly reversible via its ``Postsolve``), then
+``backend="auto"`` sends models up to :data:`EXACT_VAR_LIMIT` variables
+to the exact sparse simplex (bit-exact rationals, as the paper's
 pipeline assumes) and everything else to HiGHS, followed by a
 rationalization attempt so downstream exact machinery can still run
-whenever the optimum has modest denominators.
+whenever the optimum has modest denominators.  The limit is checked on
+the *reduced* model, so presolve can pull an oversized LP back onto the
+exact path.
 
 Three layers of reuse sit in front of the solvers:
 
@@ -42,13 +46,17 @@ from repro.lp import diskcache
 from repro.lp.exact_simplex import ExactSimplexSolver
 from repro.lp.highs import HighsSolver
 from repro.lp.model import LinearProgram
+from repro.lp.presolve import presolve as run_presolve
 from repro.lp.rationalize import rationalize_solution
-from repro.lp.solution import LPSolution
+from repro.lp.solution import LPSolution, SolveStatus
 
 #: LPs with at most this many variables go to the exact simplex by default.
-#: The sparse fraction-free solver handles the Figure 9–12 tier (1894 vars)
-#: in well under a second, so the paper-scale platforms all stay exact.
-EXACT_VAR_LIMIT = 2000
+#: With presolve plus the indexed fraction-free simplex the 48-node ring
+#: scatter tier (4419 vars) solves exactly in under a second, so the
+#: paper-scale platforms and the scaled benchmark tiers all stay exact.
+#: The limit is checked against the model *after* presolve, so an LP that
+#: shrinks under it still gets the exact path.
+EXACT_VAR_LIMIT = 5000
 
 #: Max entries kept in the solve memo cache (FIFO eviction).
 CACHE_SIZE = 128
@@ -120,7 +128,8 @@ def solve(lp: LinearProgram, backend: str = "auto",
           rationalize: bool = True, cache: bool = True,
           warm_start: bool = False,
           family: Optional[str] = None,
-          canonical: bool = False) -> LPSolution:
+          canonical: bool = False,
+          presolve: bool = True) -> LPSolution:
     """Solve ``lp`` with the requested backend.
 
     Parameters
@@ -128,8 +137,8 @@ def solve(lp: LinearProgram, backend: str = "auto",
     backend:
         ``"exact"`` — rational sparse simplex (requires rational data);
         ``"highs"`` — scipy/HiGHS float solve;
-        ``"auto"`` — exact when the LP is rational and has at most
-        ``exact_var_limit`` variables, HiGHS otherwise.
+        ``"auto"`` — exact when the LP is rational and (after presolve)
+        has at most ``exact_var_limit`` variables, HiGHS otherwise.
     rationalize:
         After a HiGHS solve of a rational LP, attempt to snap the solution
         to exact rationals (verified); on success the returned solution has
@@ -153,17 +162,25 @@ def solve(lp: LinearProgram, backend: str = "auto",
         vertices (see :class:`repro.lp.exact_simplex.ExactSimplexSolver`),
         so the returned vertex no longer depends on pricing order.
         Slower; opt in where downstream artifacts must be stable.
+    presolve:
+        Shrink the model exactly (:mod:`repro.lp.presolve`) before either
+        backend and map the solution back afterwards.  On by default for
+        rational LPs; float LPs skip it.  Under ``canonical=True`` the
+        restricted, canonical-safe rule set runs, so the returned vertex
+        is identical with presolve on or off.
     """
     global _disk_hits
     if backend not in ("exact", "highs", "auto"):
         raise ValueError(f"unknown backend {backend!r}")
-    route = "exact" if backend == "exact" or (
-        backend == "auto" and lp.is_rational()
-        and lp.num_vars() <= exact_var_limit) else "highs"
+    rational = lp.is_rational()
+    use_presolve = presolve and rational
 
     key = None
     if cache:
-        key = f"{route};{rationalize};{int(canonical)};{canonical_key(lp)}"
+        # backend + var limit pin the routing decision, so a cache hit
+        # never has to re-derive it (which would require presolving first)
+        key = (f"{backend};{exact_var_limit};{rationalize};{int(canonical)};"
+               f"p{int(use_presolve)};{canonical_key(lp)}")
         hit = _memo.get(key)
         if hit is not None:
             _memo.move_to_end(key)
@@ -176,16 +193,41 @@ def solve(lp: LinearProgram, backend: str = "auto",
                 _memo.popitem(last=False)
             return replace(disk_hit, lp=lp)
 
+    pres = None
+    model = lp
+    if use_presolve:
+        pres = run_presolve(lp, for_canonical=canonical)
+        if pres.infeasible:
+            return LPSolution(SolveStatus.INFEASIBLE, backend="presolve",
+                              lp=lp)
+        model = pres.lp
+
+    route = "exact" if backend == "exact" or (
+        backend == "auto" and rational
+        and model.num_vars() <= exact_var_limit) else "highs"
+
     if route == "exact":
-        sol = _solve_exact(lp, warm_start, family, canonical)
+        # family defaulting happens inside _solve_exact; presolve keeps
+        # lp.name, so the reduced model resolves to the same family
+        sol = _solve_exact(model, warm_start, family, canonical)
     else:
-        sol = HighsSolver().solve(lp)
+        sol = HighsSolver().solve(model)
 
     if (sol.backend == "highs" and rationalize and sol.optimal
-            and lp.is_rational()):
+            and rational):
         snapped: Optional[LPSolution] = rationalize_solution(sol)
         if snapped is not None:
             sol = snapped
+
+    if pres is not None:
+        if sol.optimal:
+            values = pres.postsolve.values(sol.values)
+            sol = replace(sol, values=values,
+                          objective=lp.objective.evaluate(values), lp=lp)
+        else:
+            # infeasible/unbounded transfer directly (the reductions are
+            # status-preserving); errors keep their diagnostics
+            sol = replace(sol, lp=lp)
 
     if cache and key is not None and sol.optimal:
         # store without the model itself: the hit path re-attaches the

@@ -29,8 +29,10 @@ def fig2_problem(fig2):
 
 @pytest.fixture(scope="session")
 def fig2_solution():
+    # canonical=True: the lex-smallest optimal vertex, so tests that pin
+    # schedule/flow artifacts cannot break when the pricing rule changes
     problem = ScatterProblem(figure2_platform(), "Ps", figure2_targets())
-    return solve_scatter(problem, backend="exact")
+    return solve_scatter(problem, backend="exact", canonical=True)
 
 
 @pytest.fixture
@@ -46,7 +48,7 @@ def fig6_problem(fig6):
 @pytest.fixture(scope="session")
 def fig6_solution():
     problem = ReduceProblem(figure6_platform(), participants=[0, 1, 2], target=0)
-    return solve_reduce(problem, backend="exact")
+    return solve_reduce(problem, backend="exact", canonical=True)
 
 
 @pytest.fixture(scope="session")
@@ -55,6 +57,16 @@ def fig9_solution():
                             participants=figure9_participants(),
                             target=figure9_target(), msg_size=10, task_work=10)
     return solve_reduce(problem)
+
+
+@pytest.fixture(scope="session")
+def fig9_canonical_solution():
+    """The lex-smallest optimal fig9 vertex — pricing-rule independent;
+    use it for tests that pin tree/schedule artifacts."""
+    problem = ReduceProblem(figure9_platform(),
+                            participants=figure9_participants(),
+                            target=figure9_target(), msg_size=10, task_work=10)
+    return solve_reduce(problem, canonical=True)
 
 
 @pytest.fixture

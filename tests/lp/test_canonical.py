@@ -22,7 +22,7 @@ def _tie_lp():
 
 
 class TestCanonicalVertex:
-    @pytest.mark.parametrize("pricing", ["dantzig", "bland"])
+    @pytest.mark.parametrize("pricing", ["dantzig", "devex", "bland"])
     def test_lex_smallest_vertex_regardless_of_pricing(self, pricing):
         sol = ExactSimplexSolver(pricing=pricing).solve(_tie_lp(),
                                                         canonical=True)
@@ -57,13 +57,30 @@ class TestCanonicalVertex:
         assert a.objective == b.objective == 1
         assert a.named_values() == b.named_values()
 
-    def test_plain_pricings_differ_on_paper_lp(self):
-        # the alternate-optimum sensitivity this feature addresses
-        problem = ReduceProblem(figure6_platform(), [0, 1, 2], target=0)
-        a = ExactSimplexSolver(pricing="dantzig").solve(build_reduce_lp(problem))
-        b = ExactSimplexSolver(pricing="bland").solve(build_reduce_lp(problem))
-        assert a.objective == b.objective
-        assert a.named_values() != b.named_values()
+    def test_plain_pricings_differ(self):
+        # the alternate-optimum sensitivity this feature addresses: on
+        # max x + 2w s.t. x + 2w <= 1 the whole segment is optimal;
+        # Dantzig enters w (reduced cost -2), Bland enters x (lowest index)
+        lp = LinearProgram("tie-scaled")
+        x = lp.var("x")
+        w = lp.var("w")
+        lp.add(x + 2 * w <= 1)
+        lp.maximize(x + 2 * w)
+        a = ExactSimplexSolver(pricing="dantzig").solve(lp)
+        b = ExactSimplexSolver(pricing="bland").solve(lp)
+        assert a.objective == b.objective == 1
+        assert a.named_values() == {"w": Fraction(1, 2)}
+        assert b.named_values() == {"x": 1}
+
+    @pytest.mark.parametrize("pricing", ["dantzig", "devex", "bland"])
+    def test_canonical_removes_the_sensitivity(self, pricing):
+        lp = LinearProgram("tie-scaled")
+        x = lp.var("x")
+        w = lp.var("w")
+        lp.add(x + 2 * w <= 1)
+        lp.maximize(x + 2 * w)
+        sol = ExactSimplexSolver(pricing=pricing).solve(lp, canonical=True)
+        assert sol.named_values() == {"w": Fraction(1, 2)}
 
 
 class TestBudget:

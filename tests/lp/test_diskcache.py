@@ -68,6 +68,63 @@ class TestStore:
         assert diskcache.stats()["entries"] == 0
 
 
+class TestLRUEviction:
+    @pytest.fixture
+    def small_limit(self, cache_dir):
+        """Cap the store at roughly two fig2 entries."""
+        sol = solve(_fig2_lp(), cache=False)
+        assert diskcache.store("probe", sol)
+        entry_bytes = diskcache.stats()["bytes"]
+        diskcache.clear()
+        diskcache.set_cache_limit(int(entry_bytes * 2.5))
+        yield sol
+        diskcache.set_cache_limit(None)
+
+    def test_default_limit_active(self):
+        assert diskcache.get_cache_limit() == diskcache.DEFAULT_MAX_BYTES
+
+    def test_store_evicts_oldest_beyond_limit(self, small_limit):
+        sol = small_limit
+        for key in ("k1", "k2", "k3"):
+            diskcache.store(key, sol)
+            os.utime(diskcache._entry_path(diskcache.get_cache_dir(), key),
+                     (1_000_000, 1_000_000 + int(key[1])))
+        diskcache.evict()
+        assert diskcache.load("k1") is None        # oldest: evicted
+        assert diskcache.load("k3") is not None    # newest: kept
+        assert diskcache.stats()["entries"] <= 2
+        assert diskcache.stats()["evictions"] >= 1
+
+    def test_load_refreshes_recency(self, small_limit):
+        sol = small_limit
+        root = diskcache.get_cache_dir()
+        diskcache.store("old", sol)
+        diskcache.store("new", sol)
+        # force "old" older than "new", then touch it via a load hit
+        os.utime(diskcache._entry_path(root, "old"), (1, 1))
+        assert diskcache.load("old") is not None
+        os.utime(diskcache._entry_path(root, "new"), (2, 2))
+        diskcache.store("k3", sol)  # pushes past the limit, evicts LRU
+        assert diskcache.load("old") is not None   # refreshed: survives
+        assert diskcache.load("new") is None       # stale: evicted
+
+    def test_zero_limit_disables_eviction(self, cache_dir):
+        diskcache.set_cache_limit(0)
+        try:
+            sol = solve(_fig2_lp(), cache=False)
+            for i in range(5):
+                diskcache.store(f"k{i}", sol)
+            assert diskcache.evict() == 0
+            assert diskcache.stats()["entries"] == 5
+        finally:
+            diskcache.set_cache_limit(None)
+
+    def test_env_var_limit(self, cache_dir, monkeypatch):
+        monkeypatch.setenv(diskcache.CACHE_MAX_BYTES_ENV, "12345")
+        diskcache.set_cache_limit(None)
+        assert diskcache.get_cache_limit() == 12345
+
+
 class TestDispatchIntegration:
     def test_cross_process_simulation(self, cache_dir):
         """Memory cache cleared between solves == a fresh process; the

@@ -126,6 +126,17 @@ class TestStatuses:
 
 
 class TestRobustness:
+    def test_huge_objective_coefficients_price_without_overflow(self):
+        # Devex pricing scores are float-approximate; coefficients past
+        # float range must collapse to inf (reference reset), not raise
+        lp = LinearProgram()
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x + y <= 1)
+        lp.maximize(10**160 * x + y)
+        s = solve(lp)
+        assert s.status is SolveStatus.OPTIMAL
+        assert s.objective == 10**160
+
     def test_degenerate_lp_terminates(self):
         # classic degenerate vertex: several constraints meet at one point
         lp = LinearProgram()

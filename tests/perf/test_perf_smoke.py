@@ -1,49 +1,100 @@
-"""Tier-1 perf smoke check against the committed ``BENCH_PR1.json``.
+"""Tier-1 perf smoke check against the committed ``BENCH_PR3.json``.
 
-Fails when the exact solve of the Figure 9–12 tier platform regresses more
-than 2× versus the recorded baseline (plus a small absolute cushion so
-timer noise on sub-second solves cannot flake the suite).  Regenerate the
-baseline with ``PYTHONPATH=src python benchmarks/perf_report.py`` after an
-intentional perf change — or on a new machine.
+Fails when the exact pipeline (presolve + simplex + postsolve) regresses
+more than 2× versus the recorded baseline on the guarded tiers — the
+Figure 9–12 platform plus the two PR 3 scale rungs (``complete7_reduce``,
+``ring48_scatter``) — with a small absolute cushion so timer noise on
+sub-second solves cannot flake the suite.  Also pins the cross-baseline
+acceptance bar: the committed fig9 timing must stay ≥2× under the frozen
+PR 1 record (both files were measured on the same machine).
+
+Regenerate the baseline with ``PYTHONPATH=src python
+benchmarks/perf_report.py`` after an intentional perf change — or on a
+new machine.
 """
 
 import json
+import os
+import sys
 import time
 from fractions import Fraction
 from pathlib import Path
 
 import pytest
 
-from repro.core.reduce_op import ReduceProblem, build_reduce_lp
 from repro.lp.exact_simplex import ExactSimplexSolver
-from repro.platform.examples import (
-    figure9_participants, figure9_platform, figure9_target,
-)
+from repro.lp.presolve import presolve
 
-BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_PR1.json"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+import perf_report  # noqa: E402  — the same builders that made the baseline
+
+BASELINE_PATH = REPO_ROOT / "BENCH_PR3.json"
+PR1_PATH = REPO_ROOT / "BENCH_PR1.json"
 
 #: Absolute slack added on top of the 2x budget: guards against scheduler
 #: jitter dominating a sub-second measurement.
 NOISE_CUSHION_S = 0.25
 
 
-@pytest.mark.perf_smoke
-def test_fig9_exact_solve_within_2x_of_baseline():
-    if not BASELINE_PATH.exists():
-        pytest.skip("no BENCH_PR1.json baseline; run benchmarks/perf_report.py")
-    baseline = json.loads(BASELINE_PATH.read_text())
-    base_s = baseline["cases"]["fig9_reduce"]["exact_solve_s"]
+def _budget_factor() -> float:
+    """Extra multiplier for boxes slower than the baseline machine.
 
-    lp = build_reduce_lp(ReduceProblem(
-        figure9_platform(), participants=figure9_participants(),
-        target=figure9_target(), msg_size=10, task_work=10))
+    The committed baseline is hardware-specific; set
+    ``REPRO_PERF_FACTOR=3`` (say) on a slow CI runner instead of
+    regenerating the baseline there.
+    """
+    try:
+        return max(1.0, float(os.environ.get("REPRO_PERF_FACTOR", "1")))
+    except ValueError:
+        return 1.0
+
+EXPECTED_OBJECTIVE = {
+    "fig9_reduce": Fraction(2, 9),
+    "complete7_reduce": Fraction(1),
+    "ring48_scatter": Fraction(1, 47),
+}
+
+
+def _build(name):
+    # the exact builders behind the committed baseline: if they change,
+    # both the baseline and this guard change together
+    return perf_report._cases()[name]()
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("case", ["fig9_reduce", "complete7_reduce",
+                                  "ring48_scatter"])
+def test_exact_pipeline_within_2x_of_baseline(case):
+    if not BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR3.json baseline; run benchmarks/perf_report.py")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_s = baseline["cases"][case]["exact_solve_s"]
+
+    lp = _build(case)
     t0 = time.perf_counter()
-    sol = ExactSimplexSolver().solve(lp)
+    pr = presolve(lp)
+    sol = ExactSimplexSolver().solve(pr.lp)
+    values = pr.postsolve.values(sol.values)
     elapsed = time.perf_counter() - t0
 
-    assert sol.optimal and sol.objective == Fraction(2, 9)
-    budget = 2.0 * base_s + NOISE_CUSHION_S
+    assert sol.optimal
+    assert lp.objective.evaluate(values) == EXPECTED_OBJECTIVE[case]
+    budget = (2.0 * base_s + NOISE_CUSHION_S) * _budget_factor()
     assert elapsed <= budget, (
-        f"fig9-tier exact solve regressed: {elapsed:.3f}s vs baseline "
+        f"{case} exact pipeline regressed: {elapsed:.3f}s vs baseline "
         f"{base_s:.3f}s (budget {budget:.3f}s) — if intentional, regenerate "
-        f"BENCH_PR1.json via benchmarks/perf_report.py")
+        f"BENCH_PR3.json via benchmarks/perf_report.py (slow hardware: "
+        f"set REPRO_PERF_FACTOR instead)")
+
+
+@pytest.mark.perf_smoke
+def test_committed_fig9_baseline_holds_the_2x_acceptance_bar():
+    """The PR 3 record must stay ≥2× under the frozen PR 1 record."""
+    if not (BASELINE_PATH.exists() and PR1_PATH.exists()):
+        pytest.skip("need both BENCH_PR1.json and BENCH_PR3.json")
+    pr1 = json.loads(PR1_PATH.read_text())["cases"]["fig9_reduce"]
+    pr3 = json.loads(BASELINE_PATH.read_text())["cases"]["fig9_reduce"]
+    assert 2.0 * pr3["exact_solve_s"] <= pr1["exact_solve_s"], (
+        "committed BENCH_PR3.json no longer 2x faster than BENCH_PR1.json "
+        "on the fig9 tier — regenerate both on one machine or investigate")
