@@ -89,6 +89,24 @@ def _cases() -> Dict[str, Callable[[], LinearProgram]]:
         nodes = g.nodes()
         return build_scatter_lp(ScatterProblem(g, nodes[0], nodes[1:]))
 
+    def fig9_allgather():
+        # PR 4 workload rung: the joint composite LP — 8 broadcast stages
+        # over the shared fig9 capacities, assembled by compose_joint_lp
+        from repro.collectives import get_collective
+        from repro.core.allgather import AllGatherProblem
+
+        problem = AllGatherProblem(figure9_platform(),
+                                   figure9_participants(), msg_size=10)
+        return get_collective("all-gather").build_lp(problem)
+
+    def complete6_allgather():
+        from repro.collectives import get_collective
+        from repro.core.allgather import AllGatherProblem
+
+        g = complete(6, cost=1)
+        return get_collective("all-gather").build_lp(
+            AllGatherProblem(g, g.nodes()))
+
     return {
         "fig2_scatter": fig2_scatter,
         "fig6_reduce": fig6_reduce,
@@ -99,6 +117,38 @@ def _cases() -> Dict[str, Callable[[], LinearProgram]]:
         # the PR 3 tiers: previously near-minute or outside the exact path
         "complete7_reduce": lambda: complete_reduce(7),
         "ring48_scatter": lambda: ring_scatter(48),
+        # the PR 4 composition tiers (joint composite LPs)
+        "fig9_allgather": fig9_allgather,
+        "complete6_allgather": complete6_allgather,
+    }
+
+
+def _composite_cases() -> Dict[str, Callable[[], object]]:
+    """name -> end-to-end exact solve of a composed collective.
+
+    Sequential composites (all-reduce) have no single LP, so these tiers
+    time ``solve_collective`` cold (memo cache off): stage LP builds,
+    presolve, simplex and extraction for every stage.
+    """
+    from repro.collectives import solve_collective
+    from repro.core.allreduce import AllReduceProblem
+
+    def fig9_allreduce4():
+        problem = AllReduceProblem(figure9_platform(),
+                                   figure9_participants()[:4], msg_size=10,
+                                   task_work=10)
+        return solve_collective(problem, collective="all-reduce",
+                                backend="exact", cache=False)
+
+    def complete5_allreduce():
+        g = complete(5, cost=1)
+        return solve_collective(AllReduceProblem(g, g.nodes()),
+                                collective="all-reduce", backend="exact",
+                                cache=False)
+
+    return {
+        "fig9_allreduce4": fig9_allreduce4,
+        "complete5_allreduce": complete5_allreduce,
     }
 
 
@@ -170,6 +220,18 @@ def bench_model_building() -> Dict[str, object]:
     }
 
 
+def bench_composite(name: str, solve: Callable[[], object]) -> Dict[str, object]:
+    """Time a composed collective's end-to-end exact solve (cold)."""
+    t0 = time.perf_counter()
+    sol = solve()
+    total_s = time.perf_counter() - t0
+    return {
+        "solve_s": round(total_s, 5),
+        "throughput": str(sol.throughput),
+        "stages": len(sol.stage_solutions or ()),
+    }
+
+
 def run(only: Optional[set] = None) -> Dict[str, object]:
     pr1_cases: Dict[str, dict] = {}
     if PR1_PATH.exists():
@@ -179,17 +241,26 @@ def run(only: Optional[set] = None) -> Dict[str, object]:
         if only is not None and name not in only:
             continue
         cases[name] = bench_case(name, build, pr1_cases)
+    composites: Dict[str, object] = {}
+    for name, solve in _composite_cases().items():
+        if only is not None and name not in only:
+            continue
+        composites[name] = bench_composite(name, solve)
     return {
         "meta": {
-            "pr": 3,
+            "pr": 4,
             "description": "LP presolve + indexed fraction-free simplex with "
                            "Devex pricing (before = the PR 1 sparse solver, "
-                           "see BENCH_PR1.json)",
+                           "see BENCH_PR1.json); composite_cases time "
+                           "composed collectives (all-gather joint LPs are "
+                           "regular cases, sequential all-reduce solves end "
+                           "to end)",
             "python": _platform.python_version(),
             "machine": _platform.machine(),
         },
         "model_building": bench_model_building(),
         "cases": cases,
+        "composite_cases": composites,
     }
 
 
@@ -208,8 +279,11 @@ def main() -> None:
     for name, c in report["cases"].items():
         before = c.get("before_exact_solve_s", "-")
         speed = f"  ({c['speedup_x']}x)" if "speedup_x" in c else ""
-        print(f"{name:>18}: {c['vars']:>5} vars -> {c['presolved_vars']:>5}"
+        print(f"{name:>20}: {c['vars']:>5} vars -> {c['presolved_vars']:>5}"
               f"  pr1 {before:>8}s  now {c['exact_solve_s']:>8}s{speed}")
+    for name, c in report["composite_cases"].items():
+        print(f"{name:>20}: {c['stages']:>2} stages  TP {c['throughput']:>8}"
+              f"  end-to-end {c['solve_s']:>8}s")
     print(f"wrote {args.out}")
 
 

@@ -7,11 +7,15 @@ so adding a collective automatically adds its CLI.  Examples::
     repro scatter --platform plat.json --source Ps --targets P0,P1
     repro reduce  --platform plat.json --participants 1,2,3 --target 1
     repro reduce-scatter --platform plat.json --participants 1,2,3
+    repro broadcast --platform plat.json --source Ps --targets P0,P1
+    repro all-gather --platform plat.json --participants 1,2,3
+    repro all-reduce --platform plat.json --participants 1,2,3
     repro collectives        # list every registered collective
     repro demo fig2          # the paper's Figure 2 instance end-to-end
     repro demo fig6
     repro demo fig9
     repro demo reduce-scatter
+    repro demo all-reduce    # the composition layer end-to-end
     repro cache info         # inspect the persistent LP solve cache
 """
 
@@ -106,7 +110,7 @@ def _cmd_collectives(args) -> int:
 # paper-figure demos
 # ----------------------------------------------------------------------
 
-DEMOS = ["fig2", "fig6", "fig9", "reduce-scatter"]
+DEMOS = ["fig2", "fig6", "fig9", "reduce-scatter", "all-reduce"]
 
 
 def _cmd_demo(args) -> int:
@@ -153,6 +157,19 @@ def _cmd_demo(args) -> int:
             for t in trees:
                 print(t.describe())
         print(ascii_gantt(build_reduce_scatter_schedule(sol)))
+    elif args.which == "all-reduce":
+        from repro.core.allreduce import (AllReduceProblem,
+                                          build_all_reduce_schedule,
+                                          solve_all_reduce)
+        problem = AllReduceProblem(figure6_platform(), [0, 1, 2])
+        sol = solve_all_reduce(problem, backend="exact")
+        rs, ag = sol.stage_solutions
+        print(f"All-reduce on the Figure 6 triangle: TP = {sol.throughput} "
+              f"= 1/(1/({rs.throughput}) + 1/({ag.throughput}))")
+        print(f"  stage 0 reduce-scatter: TP = {rs.throughput}")
+        print(f"  stage 1 all-gather:     TP = {ag.throughput} "
+              f"(joint LP over 3 broadcasts)")
+        print(ascii_gantt(build_all_reduce_schedule(sol)))
     else:
         print(f"unknown demo {args.which!r}", file=sys.stderr)
         return 2

@@ -12,20 +12,30 @@ the schedule step, and :func:`repro.sim.executor.simulate_collective` the
 replay.  The classic per-collective entry points (``solve_scatter`` &
 co.) are thin wrappers kept for compatibility.
 
-The built-in specs (scatter, reduce, gossip, prefix, reduce-scatter)
-self-register on first registry access — lazily, because the core
-problem modules import :mod:`repro.collectives.base` for the shared
-solution class and an eager import here would be circular.  A bare
-``ReduceProblem`` always resolves to the plain reduce — prefix shares
-that problem type but opts out of type resolution
-(``resolve_by_type = False``), so request ``collective="prefix"``
-explicitly.
+The built-in specs (scatter, reduce, gossip, prefix, reduce-scatter,
+broadcast, all-gather, all-reduce) self-register on first registry
+access — lazily, because the core problem modules import
+:mod:`repro.collectives.base` for the shared solution class and an eager
+import here would be circular.  A bare ``ReduceProblem`` always resolves
+to the plain reduce — prefix shares that problem type but opts out of
+type resolution (``resolve_by_type = False``), so request
+``collective="prefix"`` explicitly; among type-eligible specs the
+``register_collective(priority=...)`` argument settles precedence.
+
+:class:`CompositeCollectiveSpec` is the composition layer: all-gather is
+a *joint* composite (one broadcast stage per block over shared
+capacities) and all-reduce a *sequential* one (reduce-scatter then
+all-gather, harmonic throughput composition) — see
+:mod:`repro.collectives.base`.
 """
 
 from repro.collectives.base import (
     CollectiveSolution,
     CollectiveSpec,
+    CompositeCollectiveSpec,
+    CompositeSolution,
     SimSemantics,
+    compose_joint_lp,
 )
 from repro.collectives.registry import (
     available_collectives,
@@ -39,7 +49,10 @@ from repro.collectives.orchestrator import schedule_collective, solve_collective
 __all__ = [
     "CollectiveSolution",
     "CollectiveSpec",
+    "CompositeCollectiveSpec",
+    "CompositeSolution",
     "SimSemantics",
+    "compose_joint_lp",
     "available_collectives",
     "get_collective",
     "register_collective",

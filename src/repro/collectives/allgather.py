@@ -1,0 +1,48 @@
+"""Registry spec for the Series of All-gathers (joint composite).
+
+The first composite riding the composition layer: one broadcast stage per
+block (source = the block's owner, targets = every other participant),
+solved as a joint LP over the shared one-port capacities and scheduled by
+superposing the per-block arborescence bundles.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.base import CompositeCollectiveSpec
+from repro.collectives.registry import register_collective
+from repro.core.allgather import AllGatherProblem
+from repro.core.broadcast import BroadcastProblem
+
+
+class AllGatherSpec(CompositeCollectiveSpec):
+    name = "all-gather"
+    title = "Series of All-gathers — every participant's block reaches everyone (joint broadcast composition)"
+    problem_type = AllGatherProblem
+    mode = "joint"
+
+    def stages(self, problem):
+        return [("broadcast",
+                 BroadcastProblem(problem.platform, problem.owner(b),
+                                  problem.block_targets(b),
+                                  msg_size=problem.msg_size))
+                for b in problem.blocks]
+
+    def format_commodity(self, send_key):
+        return "content"
+
+    # ------------------------------------------------------------ CLI
+    def add_arguments(self, parser) -> None:
+        parser.add_argument("--participants", required=True,
+                            help="comma-separated node ids; participant b "
+                                 "owns block b")
+        parser.add_argument("--msg-size", type=int, default=1,
+                            dest="msg_size")
+
+    def problem_from_args(self, platform, args):
+        from repro.cli import parse_nodes
+
+        return AllGatherProblem(platform, parse_nodes(args.participants),
+                                msg_size=args.msg_size)
+
+
+ALL_GATHER = register_collective(AllGatherSpec())

@@ -1,0 +1,79 @@
+"""Registry spec for the Series of All-reduces (sequential composite).
+
+Reduce-scatter ∘ all-gather: the canonical decomposition (Träff 2024) as
+a sequential composite — each stage solved on its own LP, the composed
+throughput the harmonic combination of the stage throughputs, the
+schedule the two stage schedules back to back, and the simulator chained
+so the all-gather stage redistributes exactly the values the
+reduce-scatter stage produces (every delivered block must equal the full
+non-commutative reduction).
+"""
+
+from __future__ import annotations
+
+from repro.collectives.base import CompositeCollectiveSpec, SimSemantics
+from repro.collectives.registry import register_collective
+from repro.core.allgather import AllGatherProblem
+from repro.core.allreduce import AllReduceProblem
+from repro.core.reduce_scatter import ReduceScatterProblem
+from repro.sim.operators import SeqConcat
+
+
+class AllReduceSpec(CompositeCollectiveSpec):
+    name = "all-reduce"
+    title = "Series of All-reduces — reduce-scatter then all-gather (sequential composition)"
+    problem_type = AllReduceProblem
+    mode = "sequential"
+
+    def stages(self, problem):
+        return [
+            ("reduce-scatter",
+             ReduceScatterProblem(problem.platform, problem.participants,
+                                  msg_size=problem.msg_size,
+                                  task_work=problem.task_work,
+                                  task_time_fn=problem.task_time_fn)),
+            ("all-gather",
+             AllGatherProblem(problem.platform, problem.participants,
+                              msg_size=problem.msg_size)),
+        ]
+
+    def chain_stage(self, k, sem, stage_problem, op) -> SimSemantics:
+        """Feed the reduced blocks into the redistribution stage.
+
+        The reduce-scatter stage leaves participant ``b`` holding block
+        ``b`` — the full non-commutative reduction of operation ``seq``'s
+        fragments.  Its value is exactly ``op.expected(n, seq)``, so the
+        all-gather stage's broadcast sources supply that value and every
+        all-gather delivery is checked against it: the simulation proves
+        end-to-end that what reaches every participant *is* the reduction.
+        """
+        if k != 1:
+            return sem
+        op = op or SeqConcat
+        n = stage_problem.n_values
+        reduced = lambda seq: op.expected(n, seq)  # noqa: E731
+        return SimSemantics(
+            supplies={key: (lambda seq: reduced(seq))
+                      for key in sem.supplies},
+            expected=lambda item, seq: reduced(seq),
+            combine=sem.combine)
+
+    # ------------------------------------------------------------ CLI
+    def add_arguments(self, parser) -> None:
+        parser.add_argument("--participants", required=True,
+                            help="comma-separated node ids in logical (⊕) "
+                                 "order")
+        parser.add_argument("--msg-size", type=int, default=1,
+                            dest="msg_size")
+        parser.add_argument("--task-work", type=int, default=1,
+                            dest="task_work")
+
+    def problem_from_args(self, platform, args):
+        from repro.cli import parse_nodes
+
+        return AllReduceProblem(platform, parse_nodes(args.participants),
+                                msg_size=args.msg_size,
+                                task_work=args.task_work)
+
+
+ALL_REDUCE = register_collective(AllReduceSpec())

@@ -19,14 +19,36 @@ for a complete example and ROADMAP.md for the how-to.
 names: rates (``send``), optional task rates (``cons``), optional path
 decompositions (``paths``), exactness metadata, and shared
 ``edge_occupation()``/``verify()`` that dispatch through the spec.
+
+:class:`CompositeCollectiveSpec` is the composition layer on top: a
+collective defined as a list of *registered stages* sharing the one-port /
+alpha capacities.  Two composition modes exist:
+
+- ``"joint"`` — all stages run concurrently at one common ``TP``;
+  :func:`compose_joint_lp` merges the stage LPs into a single LP whose
+  capacity rows (``edge[..]``/``out[..]``/``in[..]``/``alpha[..]`` — the
+  naming convention every builder follows) sum over all stages.
+  All-gather rides this mode as one broadcast stage per block.
+- ``"sequential"`` — stages run as consecutive phases of a pipelined
+  steady state; each stage is solved on its own and the composed
+  throughput is the harmonic combination ``1 / sum(1 / TP_k)``.
+  All-reduce rides this mode as reduce-scatter followed by all-gather.
+
+Either way the composite is an ordinary registered collective: the
+orchestrator, schedule superposition/concatenation
+(:mod:`repro.core.schedule`), the simulator's stage-semantics chaining
+(:func:`repro.sim.executor.chain_semantics`), the rates table and the CLI
+all work unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.lp import LinearProgram, LPSolution
+from repro.lp.model import LE, Constraint, LinExpr
 from repro.platform.graph import NodeId
 
 if TYPE_CHECKING:  # flowclean sits under repro.core, whose package
@@ -128,6 +150,11 @@ class CollectiveSpec:
     #: False and are only reachable by name — keeps resolution
     #: independent of registration/import order.
     resolve_by_type: bool = True
+    #: Simulator op-counting mode (see ``PeriodicSchedule.delivery_mode``),
+    #: applied to built schedules by ``schedule_collective`` whenever
+    #: ``build_schedule`` did not pin one itself; ``None`` keeps the
+    #: legacy inference (sum iff compute tasks exist).
+    delivery_mode: Optional[str] = None
 
     # ------------------------------------------------------------------
     # problem / LP
@@ -142,6 +169,26 @@ class CollectiveSpec:
 
     def build_lp(self, problem) -> LinearProgram:
         raise NotImplementedError
+
+    def solve(self, problem, backend: str = "auto", eps: float = 1e-9,
+              passes=None, **solve_kwargs) -> "CollectiveSolution":
+        """The default solve pipeline: build the LP, solve, extract.
+
+        :func:`repro.collectives.solve_collective` dispatches here, so a
+        spec whose collective is *not* one LP (sequential composites)
+        overrides this hook and still rides the one orchestrator path.
+        ``solve_kwargs`` reach :func:`repro.lp.solve`.
+        """
+        from repro.lp import solve as lp_solve
+
+        lp = self.build_lp(problem)
+        sol = lp_solve(lp, backend=backend, **solve_kwargs)
+        if not sol.optimal:
+            raise RuntimeError(f"LP solve failed: {sol.status}")
+        tol = 0 if sol.exact else eps
+        if passes is None:
+            passes = self.default_passes()
+        return self.extract(problem, lp, sol, tol, passes)
 
     # ------------------------------------------------------------------
     # variable-name codec + commodity structure
@@ -237,6 +284,15 @@ class CollectiveSpec:
         raise NotImplementedError(
             f"{self.name} has no schedule reconstruction")
 
+    def rate_bundle(self, solution: CollectiveSolution):
+        """The solution's steady-state traffic as a
+        :class:`repro.core.schedule.RateBundle` — the currency of schedule
+        superposition.  Specs that implement it can serve as stages of a
+        *joint* composite (their bundles are merged into one period);
+        sequential composites only need :meth:`build_schedule`."""
+        raise NotImplementedError(
+            f"{self.name} does not expose a rate bundle")
+
     def simulation(self, schedule, problem, op=None) -> SimSemantics:
         """Item semantics for :func:`repro.sim.executor.simulate_collective`."""
         raise NotImplementedError(
@@ -322,3 +378,320 @@ class CollectiveSpec:
 
     def __repr__(self) -> str:
         return f"<CollectiveSpec {self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# the composition layer
+# ----------------------------------------------------------------------
+
+#: Constraint-name prefixes every LP builder uses for the shared platform
+#: capacities; :func:`compose_joint_lp` merges rows with equal names
+#: across stages (summing their occupation expressions).
+CAPACITY_PREFIXES = ("edge[", "out[", "in[", "alpha[")
+
+
+def compose_joint_lp(name: str, stage_lps: Sequence[LinearProgram]) -> LinearProgram:
+    """One LP running every stage concurrently at a common throughput.
+
+    Each stage LP's variables are copied under a ``s{k}:`` prefix except
+    ``TP``, which all stages share; per-stage structural constraints
+    (conservation, throughput, content domination, ...) are copied with
+    prefixed names, while the capacity rows named by
+    :data:`CAPACITY_PREFIXES` — all of the normalized form
+    ``occupation - 1 <= 0`` — are summed across stages, expressing that
+    the stages compete for the same ports, edges and CPU time.  Stages
+    must therefore be built over the same platform.
+    """
+    joint = LinearProgram(name)
+    tp = joint.var("TP")
+    shared: Dict[str, LinExpr] = {}
+    shared_order: List[str] = []
+    for k, slp in enumerate(stage_lps):
+        mapping: Dict[int, object] = {}
+        for v in slp.variables:
+            if v.name == "TP":
+                mapping[v.index] = tp
+            else:
+                mapping[v.index] = joint.var(f"s{k}:{v.name}", lb=v.lb,
+                                             ub=v.ub)
+        for con in slp.constraints:
+            new = LinExpr()
+            for idx, c in con.expr.coefs.items():
+                new.add_term(mapping[idx], c)
+            if con.name.startswith(CAPACITY_PREFIXES):
+                if con.sense != LE or con.expr.constant != -1:
+                    raise ValueError(
+                        f"stage {k}: capacity row {con.name!r} is not of "
+                        "the normalized 'occupation <= 1' form")
+                acc = shared.get(con.name)
+                if acc is None:
+                    shared[con.name] = new
+                    shared_order.append(con.name)
+                else:
+                    acc.add_expr(new)
+            else:
+                new.constant = con.expr.constant
+                joint.add(Constraint(new, con.sense), name=f"s{k}:{con.name}")
+    for cname in shared_order:
+        expr = shared[cname]
+        expr.constant = -1
+        joint.add(Constraint(expr, LE), name=cname)
+    joint.maximize(tp)
+    return joint
+
+
+class _StageLPView:
+    """:class:`~repro.lp.solution.LPSolution` façade exposing one stage's
+    slice of a joint solve under the stage's own variable names."""
+
+    def __init__(self, joint_sol: LPSolution, prefix: str,
+                 stage_lp: LinearProgram) -> None:
+        self._joint = joint_sol
+        self._prefix = prefix
+        self._lp = stage_lp
+        self.exact = joint_sol.exact
+        self.status = joint_sol.status
+        self.backend = joint_sol.backend
+
+    @property
+    def optimal(self) -> bool:
+        return self._joint.optimal
+
+    def value(self, var):
+        name = "TP" if var.name == "TP" else self._prefix + var.name
+        try:
+            return self._joint.by_name(name)
+        except KeyError:
+            return 0
+
+    def by_name(self, name: str):
+        return self.value(self._lp.get(name))
+
+
+@dataclass
+class CompositeSolution(CollectiveSolution):
+    """Solved composite collective.
+
+    ``stage_solutions[k]`` is stage ``k``'s full solution (its own type,
+    verified by its own spec).  ``send[(i, j, k, *rest)]`` holds the
+    composite view of stage ``k``'s rate keyed ``(i, j, *rest)`` — in
+    sequential mode scaled by the stage's phase fraction ``TP / TP_k``,
+    so :meth:`~CollectiveSolution.edge_occupation` is the long-run
+    average and stays within the one-port budget in both modes.
+    ``lp_solution`` is ``None`` for sequential composites (there is no
+    single joint LP).
+    """
+
+    stage_solutions: Optional[List[CollectiveSolution]] = None
+
+
+class CompositeCollectiveSpec(CollectiveSpec):
+    """A collective composed of registered stages over shared capacities.
+
+    Subclasses set :attr:`mode` and implement :meth:`stages`; everything
+    else — solving (joint LP or per-stage solves), extraction, verify,
+    schedule (superposition or concatenation), simulation (chained stage
+    semantics), rates table and CLI — is generic.
+    """
+
+    solution_type = CompositeSolution
+    #: ``"joint"`` (stages share one period) or ``"sequential"``
+    #: (stages are consecutive phases).
+    mode: str = "joint"
+    delivery_mode = "sum"  # stage streams are independent TP-rate groups
+
+    def stages(self, problem) -> Sequence[Tuple[str, object]]:
+        """``[(registered stage collective name, stage problem), ...]``."""
+        raise NotImplementedError
+
+    def stage_specs(self, problem) -> List[Tuple["CollectiveSpec", object]]:
+        """Resolved ``(stage spec, stage problem)`` pairs (memoized per
+        problem instance — stage problems are rebuilt otherwise)."""
+        memo = getattr(self, "_stage_memo", None)
+        if memo is not None and memo[0] is problem:
+            return memo[1]
+        from repro.collectives.registry import get_collective
+
+        resolved = [(get_collective(name), sub)
+                    for name, sub in self.stages(problem)]
+        self._stage_memo = (problem, resolved)
+        return resolved
+
+    def _stage_lps(self, problem) -> List[LinearProgram]:
+        """Stage LPs, built once per problem instance — the joint solve
+        needs them twice (composition, then per-stage extraction)."""
+        memo = getattr(self, "_stage_lp_memo", None)
+        if memo is not None and memo[0] is problem:
+            return memo[1]
+        lps = [spec.build_lp(sub) for spec, sub in self.stage_specs(problem)]
+        self._stage_lp_memo = (problem, lps)
+        return lps
+
+    # ------------------------------------------------------- solving
+    def build_lp(self, problem) -> LinearProgram:
+        if self.mode != "joint":
+            raise NotImplementedError(
+                f"{self.name} is a sequential composite: no single LP")
+        return compose_joint_lp(f"{self.name}({problem.platform.name})",
+                                self._stage_lps(problem))
+
+    def solve(self, problem, backend: str = "auto", eps: float = 1e-9,
+              passes=None, **solve_kwargs) -> CompositeSolution:
+        if self.mode == "joint":
+            from repro.lp import solve as lp_solve
+
+            lp = self.build_lp(problem)
+            sol = lp_solve(lp, backend=backend, **solve_kwargs)
+            if not sol.optimal:
+                raise RuntimeError(f"LP solve failed: {sol.status}")
+            tol = 0 if sol.exact else eps
+            # passes stay None by default so each stage applies its own
+            return self.extract(problem, lp, sol, tol, passes)
+        # sequential: each stage is an independent solve; the composed
+        # steady state spends the phase fraction TP/TP_k inside stage k
+        from repro.collectives.orchestrator import solve_collective
+
+        subs = []
+        for spec, sub in self.stage_specs(problem):
+            subs.append(solve_collective(sub, collective=spec.name,
+                                         backend=backend, eps=eps,
+                                         passes=passes, **solve_kwargs))
+        inv = sum((Fraction(1) / s.throughput if s.exact
+                   else 1.0 / s.throughput for s in subs), 0)
+        tp = (Fraction(1) if all(s.exact for s in subs) else 1.0) / inv
+        send = {}
+        for k, s in enumerate(subs):
+            phase = tp / s.throughput
+            for key, f in s.send.items():
+                send[(key[0], key[1], k) + key[2:]] = f * phase
+        return self.solution_type(problem=problem, throughput=tp, send=send,
+                                  lp_solution=None,
+                                  exact=all(s.exact for s in subs),
+                                  collective=self.name, stage_solutions=subs)
+
+    def extract(self, problem, lp: LinearProgram, sol, tol,
+                passes) -> CompositeSolution:
+        """Joint-mode extraction: run every stage's own extractor against
+        its prefixed slice of the joint optimum."""
+        subs = []
+        send = {}
+        stage_lps = self._stage_lps(problem)
+        for k, (spec, sub) in enumerate(self.stage_specs(problem)):
+            stage_lp = stage_lps[k]
+            view = _StageLPView(sol, f"s{k}:", stage_lp)
+            stage_passes = passes if passes is not None \
+                else spec.default_passes()
+            s = spec.extract(sub, stage_lp, view, tol, stage_passes)
+            subs.append(s)
+            for key, f in s.send.items():
+                send[(key[0], key[1], k) + key[2:]] = f
+        return self.solution_type(problem=problem,
+                                  throughput=sol.by_name("TP"), send=send,
+                                  lp_solution=sol, exact=sol.exact,
+                                  collective=self.name, stage_solutions=subs)
+
+    # ---------------------------------------------------------- codec
+    def send_edge(self, key: tuple) -> EdgeKey:
+        return (key[0], key[1])
+
+    def send_unit_time(self, problem, key: tuple):
+        spec, sub = self.stage_specs(problem)[key[2]]
+        return spec.send_unit_time(sub, (key[0], key[1]) + key[3:])
+
+    def rate_rows(self, solution: CollectiveSolution):
+        specs = self.stage_specs(solution.problem)
+        rows = []
+        for key, v in sorted(solution.send.items(), key=str):
+            spec, _sub = specs[key[2]]
+            label = spec.format_commodity((key[0], key[1]) + key[3:])
+            rows.append((f"{key[0]} -> {key[1]}",
+                         f"s{key[2]}:{spec.name}:{label}", v))
+        return ["edge", "type", "rate"], rows
+
+    # ----------------------------------------------------- invariants
+    def verify(self, solution: CollectiveSolution, tol=0) -> List[str]:
+        """Joint one-port check on the composite occupation (phase-scaled
+        in sequential mode) plus every stage's own invariants."""
+        bad = self._port_violations(solution, tol)
+        for k, sub in enumerate(solution.stage_solutions or ()):
+            for msg in sub.verify(tol=tol):
+                bad.append(f"s{k}[{sub.collective}]: {msg}")
+        return bad
+
+    # ------------------------------------------------------- schedule
+    def build_schedule(self, solution: CollectiveSolution):
+        from repro.core.schedule import (
+            concatenate_schedules,
+            retag_schedule,
+            superpose_schedules,
+        )
+
+        if not solution.exact:
+            raise ValueError("schedule construction needs exact rational "
+                             "rates; solve with backend='exact'")
+        specs = self.stage_specs(solution.problem)
+        subs = solution.stage_solutions
+        name = f"{self.name}({solution.problem.platform.name})"
+        if self.mode == "joint":
+            bundles = [spec.rate_bundle(s).tagged(k)
+                       for k, ((spec, _sub), s) in enumerate(zip(specs, subs))]
+            return superpose_schedules(bundles,
+                                       throughput=solution.throughput,
+                                       name=name,
+                                       delivery_mode=self.delivery_mode)
+        scheds = [retag_schedule(spec.build_schedule(s), k)
+                  for k, ((spec, _sub), s) in enumerate(zip(specs, subs))]
+        return concatenate_schedules(scheds, name=name,
+                                     delivery_mode=self.delivery_mode)
+
+    def rate_bundle(self, solution: CollectiveSolution):
+        """Joint composites are themselves stageable: the merged bundle of
+        their stages (items tagged), ready for further superposition."""
+        if self.mode != "joint":
+            raise NotImplementedError(
+                f"{self.name} is sequential: phases cannot merge into one "
+                "period")
+        from repro.core.schedule import RateBundle
+
+        specs = self.stage_specs(solution.problem)
+        return RateBundle.merge(
+            [spec.rate_bundle(s).tagged(k)
+             for k, ((spec, _sub), s) in
+             enumerate(zip(specs, solution.stage_solutions))])
+
+    # ------------------------------------------------------ simulator
+    def simulation(self, schedule, problem, op=None) -> SimSemantics:
+        """Chained stage semantics: each stage derives its semantics from
+        its own (un-tagged) view of the composite schedule, the
+        :meth:`chain_stage` hook rewires payloads across the stage
+        boundary, and :func:`repro.sim.executor.chain_semantics` merges
+        the result back into the composite item namespace."""
+        from repro.core.schedule import stage_view
+        from repro.sim.executor import chain_semantics
+
+        sems = []
+        for k, (spec, sub) in enumerate(self.stage_specs(problem)):
+            sem = spec.simulation(stage_view(schedule, k), sub, op=op)
+            sems.append((k, self.chain_stage(k, sem, sub, op)))
+        return chain_semantics(sems)
+
+    def chain_stage(self, k: int, sem: SimSemantics, stage_problem,
+                    op) -> SimSemantics:
+        """Hook: rewrite stage ``k``'s semantics for value chaining (e.g.
+        all-reduce feeds the reduced values into its all-gather stage).
+        Default: stages keep their own payloads."""
+        return sem
+
+    def ops_bound_factor(self, problem) -> int:
+        return sum(spec.ops_bound_factor(sub)
+                   for spec, sub in self.stage_specs(problem))
+
+    def tp_suffix(self, problem) -> str:
+        names = "+".join(name for name, _sub in self.stages(problem))
+        return f" ({self.mode} composition: {names})"
+
+    def report(self, solution: CollectiveSolution) -> str:
+        from repro.viz.tables import composition_table, rates_table
+
+        return "\n".join([composition_table(solution),
+                          rates_table(solution)])

@@ -51,19 +51,26 @@ class GossipSpec(CollectiveSpec):
                     f"throughput[m({k},{l})] {delivered} != {solution.throughput}")
         return bad
 
-    def build_schedule(self, solution: CollectiveSolution):
-        from repro.core.schedule import schedule_from_rates
+    def rate_bundle(self, solution: CollectiveSolution):
+        from repro.core.schedule import RateBundle
 
-        if not solution.exact:
-            raise ValueError("schedule construction needs exact rational rates")
         g = solution.problem.platform
         rates = {}
         for (i, j, k, l), f in solution.send.items():
             rates[(i, j, ("msg", k, l))] = (f, g.cost(i, j))
         deliveries = {("msg", k, l): l for (k, l) in solution.problem.pairs()}
-        return schedule_from_rates(rates, throughput=solution.throughput,
-                                   deliveries=deliveries,
-                                   name=f"gossip({g.name})")
+        return RateBundle(rates=rates, deliveries=deliveries)
+
+    def build_schedule(self, solution: CollectiveSolution):
+        from repro.core.schedule import schedule_from_rates
+
+        if not solution.exact:
+            raise ValueError("schedule construction needs exact rational rates")
+        bundle = self.rate_bundle(solution)
+        return schedule_from_rates(
+            bundle.rates, throughput=solution.throughput,
+            deliveries=bundle.deliveries,
+            name=f"gossip({solution.problem.platform.name})")
 
     def simulation(self, schedule, problem, op=None) -> SimSemantics:
         supplies = {}

@@ -1,10 +1,13 @@
 """The single solve pipeline every collective goes through.
 
 ``solve_collective`` replaces the four near-identical ``solve_*``
-functions: resolve the spec, build the LP, solve it, and hand the raw
-optimum to the spec's extractor with a configurable flow-cleaning pass
-pipeline.  ``schedule_collective`` is the matching registry-dispatched
-schedule reconstruction.
+functions: resolve the spec, validate the problem, and dispatch to the
+spec's :meth:`~repro.collectives.base.CollectiveSpec.solve` — by default
+the classic build-LP / solve / extract pipeline with a configurable
+flow-cleaning pass pipeline; composites override it to solve a joint LP
+over shared capacities or to chain per-stage solves (sequential phases).
+``schedule_collective`` is the matching registry-dispatched schedule
+reconstruction.
 """
 
 from __future__ import annotations
@@ -13,7 +16,6 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.collectives.base import CollectiveSolution
 from repro.collectives.registry import resolve_collective
-from repro.lp import solve as lp_solve
 
 if TYPE_CHECKING:  # lazy: repro.core's package __init__ imports back here
     from repro.core.flowclean import FlowPass
@@ -46,16 +48,19 @@ def solve_collective(problem, collective: Optional[str] = None,
     """
     spec = resolve_collective(problem, collective)
     spec.validate(problem)
-    lp = spec.build_lp(problem)
-    sol = lp_solve(lp, backend=backend, **solve_kwargs)
-    if not sol.optimal:
-        raise RuntimeError(f"LP solve failed: {sol.status}")
-    tol = 0 if sol.exact else eps
-    if passes is None:
-        passes = spec.default_passes()
-    return spec.extract(problem, lp, sol, tol, passes)
+    return spec.solve(problem, backend=backend, eps=eps, passes=passes,
+                      **solve_kwargs)
 
 
 def schedule_collective(solution: CollectiveSolution):
-    """Periodic one-port schedule for any collective solution."""
-    return solution.spec.build_schedule(solution)
+    """Periodic one-port schedule for any collective solution.
+
+    Applies the spec's declared ``delivery_mode`` to the built schedule
+    when the spec's ``build_schedule`` did not pin one itself, so setting
+    the class attribute is sufficient for any spec.
+    """
+    spec = solution.spec
+    schedule = spec.build_schedule(solution)
+    if spec.delivery_mode is not None and schedule.delivery_mode is None:
+        schedule.delivery_mode = spec.delivery_mode
+    return schedule

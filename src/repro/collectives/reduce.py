@@ -104,6 +104,14 @@ class ReduceSpec(CollectiveSpec):
         return bad
 
     # ------------------------------------------------------- schedule
+    def rate_bundle(self, solution: CollectiveSolution):
+        from repro.core.schedule import tree_rate_bundle
+
+        trees = solution.trees if solution.trees is not None \
+            else solution.extract()
+        return tree_rate_bundle(solution.problem, trees,
+                                target=solution.problem.target)
+
     def build_schedule(self, solution: CollectiveSolution):
         from repro.core.schedule import build_reduce_schedule
 
@@ -141,4 +149,7 @@ class ReduceSpec(CollectiveSpec):
         return "\n".join(lines)
 
 
-REDUCE = register_collective(ReduceSpec())
+# priority makes reduce's claim on bare ReduceProblem instances explicit
+# (prefix shares the problem type but opts out of type resolution; the
+# priority guards the precedence even if that ever changes)
+REDUCE = register_collective(ReduceSpec(), priority=1)

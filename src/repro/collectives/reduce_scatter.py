@@ -124,6 +124,15 @@ class ReduceScatterSpec(CollectiveSpec):
         return bad
 
     # ------------------------------------------------------- schedule
+    def rate_bundle(self, solution: CollectiveSolution):
+        from repro.core.schedule import RateBundle, tree_rate_bundle
+
+        return RateBundle.merge(
+            [tree_rate_bundle(solution.problem, block_trees,
+                              target=solution.problem.block_target(b),
+                              stream=lambda r, b=b: (b, r))
+             for b, block_trees in solution.extract().items()])
+
     def build_schedule(self, solution: CollectiveSolution):
         return build_reduce_scatter_schedule(solution)
 

@@ -2,10 +2,15 @@
 
 ``register_collective`` is called once per spec at import time; user
 code can register additional collectives the same way.  Resolution works
-either by name or by problem type.  Specs that share another
-collective's problem type declare ``resolve_by_type = False`` (prefix
-rides ``ReduceProblem``) and are reachable only by name, so type
-resolution never depends on import/registration order.
+either by name or by problem type; type resolution is **explicit**, never
+an import-order accident:
+
+- specs that share another collective's problem type declare
+  ``resolve_by_type = False`` (prefix rides ``ReduceProblem``) and are
+  reachable only by name, and
+- among the remaining candidates the highest ``priority`` passed to
+  :func:`register_collective` wins (default 0); only a genuine priority
+  tie falls back to registration order.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ from typing import List, Optional
 from repro.collectives.base import CollectiveSpec
 
 _registry: dict = {}  # name -> CollectiveSpec, insertion-ordered
+_priorities: dict = {}  # name -> (priority, registration serial)
+_reg_serial = 0  # monotonic: re-registrations get a fresh, unique serial
 _builtins_loaded = False
 
 
@@ -22,8 +29,7 @@ def _load_builtins() -> None:
     """Import the built-in spec modules (which self-register) on first
     registry access.  Lazy because the core problem modules import
     :mod:`repro.collectives.base`; importing the specs (which import the
-    core modules back) at package-import time would be circular.
-    Registration order == import order: reduce before prefix."""
+    core modules back) at package-import time would be circular."""
     global _builtins_loaded
     if _builtins_loaded:
         return
@@ -32,28 +38,38 @@ def _load_builtins() -> None:
     import repro.collectives.gossip  # noqa: F401
     import repro.collectives.prefix  # noqa: F401
     import repro.collectives.reduce_scatter  # noqa: F401
+    import repro.collectives.broadcast  # noqa: F401
+    import repro.collectives.allgather  # noqa: F401
+    import repro.collectives.allreduce  # noqa: F401
     # set only after every import succeeded: a failed spec import must
     # resurface on the next registry access, not leave a partial registry
     _builtins_loaded = True
 
 
-def register_collective(spec: CollectiveSpec,
-                        replace: bool = False) -> CollectiveSpec:
+def register_collective(spec: CollectiveSpec, replace: bool = False,
+                        priority: int = 0) -> CollectiveSpec:
     """Register ``spec`` under ``spec.name``; returns the spec.
 
     Re-registering a name raises unless ``replace=True`` (supported so
-    tests and downstream code can shadow a built-in).
+    tests and downstream code can shadow a built-in).  ``priority``
+    settles problem-type resolution when several type-eligible specs
+    accept the same problem class: the highest priority wins, ties break
+    by registration order.
     """
+    global _reg_serial
     if not spec.name:
         raise ValueError("collective spec needs a non-empty name")
     if spec.name in _registry and not replace:
         raise ValueError(f"collective {spec.name!r} is already registered")
     _registry[spec.name] = spec
+    _priorities[spec.name] = (priority, _reg_serial)
+    _reg_serial += 1
     return spec
 
 
 def unregister_collective(name: str) -> None:
     _registry.pop(name, None)
+    _priorities.pop(name, None)
 
 
 def get_collective(name: str) -> CollectiveSpec:
@@ -78,15 +94,20 @@ def resolve_collective(problem, collective: Optional[str] = None) -> CollectiveS
     Type-based resolution only considers specs with
     ``resolve_by_type=True`` — specs that *share* another collective's
     problem type (``prefix`` rides ``ReduceProblem``) opt out and must be
-    requested by name, so resolution never depends on import order.
-    Among eligible specs the first registered wins.
+    requested by name.  Among eligible specs the highest registration
+    ``priority`` wins; only a genuine tie falls back to registration
+    order, so resolution never silently depends on import order.
     """
     if collective is not None:
         return get_collective(collective)
     _load_builtins()
-    for spec in _registry.values():
-        if spec.resolve_by_type and isinstance(problem, spec.problem_type):
-            return spec
+    candidates = [spec for spec in _registry.values()
+                  if spec.resolve_by_type
+                  and isinstance(problem, spec.problem_type)]
+    if candidates:
+        return max(candidates,
+                   key=lambda s: (_priorities[s.name][0],
+                                  -_priorities[s.name][1]))
     raise KeyError(
         f"no registered collective accepts a {type(problem).__name__}; "
         f"registered: {', '.join(sorted(_registry)) or '(none)'}")

@@ -65,6 +65,16 @@ class ScatterSpec(CollectiveSpec):
         return bad
 
     # ------------------------------------------------------- schedule
+    def rate_bundle(self, solution: CollectiveSolution):
+        from repro.core.schedule import RateBundle
+
+        g = solution.problem.platform
+        rates = {}
+        for (i, j, k), f in solution.send.items():
+            rates[(i, j, ("msg", k))] = (f, g.cost(i, j))
+        deliveries = {("msg", k): k for k in solution.problem.targets}
+        return RateBundle(rates=rates, deliveries=deliveries)
+
     def build_schedule(self, solution: CollectiveSolution):
         from repro.core.schedule import schedule_from_rates
 
@@ -72,14 +82,11 @@ class ScatterSpec(CollectiveSpec):
             raise ValueError(
                 "schedule construction needs exact rational rates; solve with "
                 "backend='exact' or rationalize first (see repro.lp.rationalize)")
-        g = solution.problem.platform
-        rates = {}
-        for (i, j, k), f in solution.send.items():
-            rates[(i, j, ("msg", k))] = (f, g.cost(i, j))
-        deliveries = {("msg", k): k for k in solution.problem.targets}
-        return schedule_from_rates(rates, throughput=solution.throughput,
-                                   deliveries=deliveries,
-                                   name=f"scatter({g.name})")
+        bundle = self.rate_bundle(solution)
+        return schedule_from_rates(
+            bundle.rates, throughput=solution.throughput,
+            deliveries=bundle.deliveries,
+            name=f"scatter({solution.problem.platform.name})")
 
     # ------------------------------------------------------ simulator
     def simulation(self, schedule, problem, op=None) -> SimSemantics:

@@ -16,10 +16,19 @@ Pipelines, one per collective:
 - **Series of Reduce-scatters**: :mod:`repro.core.reduce_scatter` — every
   participant ends with one reduced block; built as reduce-per-block over
   the shared capacities and scheduled by superposing per-block trees.
+- **Series of Broadcasts** (Section 5 outlook): :mod:`repro.core.broadcast`
+  — content-divisible flows, scheduled by packing weighted arborescences
+  (:mod:`repro.core.arborescence`).
+- **Series of All-gathers**: :mod:`repro.core.allgather` — a *joint*
+  composite of per-block broadcasts over shared capacities.
+- **Series of All-reduces**: :mod:`repro.core.allreduce` — a *sequential*
+  composite, reduce-scatter then all-gather, harmonic throughput.
 
-All five run through the one registry-driven pipeline in
+All of them run through the one registry-driven pipeline in
 :mod:`repro.collectives`; the ``solve_*`` functions here are thin
-registry-backed wrappers kept for compatibility.
+registry-backed wrappers kept for compatibility.  Composed collectives
+share the schedule superposition/concatenation machinery of
+:mod:`repro.core.schedule`.
 """
 
 from repro.core.scatter import (
@@ -50,8 +59,32 @@ from repro.core.reduce_scatter import (
     build_reduce_scatter_schedule,
     solve_reduce_scatter,
 )
+from repro.core.broadcast import (
+    BroadcastProblem,
+    BroadcastSolution,
+    build_broadcast_lp,
+    build_broadcast_schedule,
+    solve_broadcast,
+)
+from repro.core.allgather import (
+    AllGatherProblem,
+    build_all_gather_schedule,
+    solve_all_gather,
+)
+from repro.core.allreduce import (
+    AllReduceProblem,
+    build_all_reduce_schedule,
+    solve_all_reduce,
+)
+from repro.core.arborescence import Arborescence, pack_arborescences
 from repro.core.trees import ReductionTree, extract_trees
-from repro.core.schedule import PeriodicSchedule, build_reduce_schedule
+from repro.core.schedule import (
+    PeriodicSchedule,
+    RateBundle,
+    build_reduce_schedule,
+    concatenate_schedules,
+    superpose_schedules,
+)
 from repro.core.fixed_period import fixed_period_approximation
 
 __all__ = [
@@ -77,9 +110,25 @@ __all__ = [
     "build_reduce_scatter_lp",
     "build_reduce_scatter_schedule",
     "solve_reduce_scatter",
+    "BroadcastProblem",
+    "BroadcastSolution",
+    "build_broadcast_lp",
+    "build_broadcast_schedule",
+    "solve_broadcast",
+    "AllGatherProblem",
+    "build_all_gather_schedule",
+    "solve_all_gather",
+    "AllReduceProblem",
+    "build_all_reduce_schedule",
+    "solve_all_reduce",
+    "Arborescence",
+    "pack_arborescences",
     "ReductionTree",
     "extract_trees",
     "PeriodicSchedule",
+    "RateBundle",
     "build_reduce_schedule",
+    "concatenate_schedules",
+    "superpose_schedules",
     "fixed_period_approximation",
 ]

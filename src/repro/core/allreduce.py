@@ -1,0 +1,77 @@
+"""Series of All-reduces: reduce-scatter composed with all-gather.
+
+All-reduce — every participant ends with the full reduction ``v[0] ⊕ ...
+⊕ v[n-1]`` — decomposes canonically (Träff, arXiv:2410.14234) into a
+reduce-scatter (participant ``b`` computes reduced block ``b``) followed
+by an all-gather (the reduced blocks are redistributed to everyone).  In
+the steady-state framework the two stages pipeline: while operation ``s``
+is being all-gathered, operation ``s + 1`` is already being
+reduce-scattered, so the composed throughput is the harmonic combination
+
+    TP  =  1 / (1 / TP_reduce-scatter  +  1 / TP_all-gather)
+
+and the composed period is the two stage periods back to back — exactly
+what :class:`repro.collectives.base.CompositeCollectiveSpec` in
+``"sequential"`` mode computes generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.platform.graph import NodeId, PlatformGraph
+
+
+@dataclass(frozen=True)
+class AllReduceProblem:
+    """A Series-of-All-reduces instance.
+
+    ``participants[j]`` owns fragment ``v[j]``; every participant must end
+    with the full reduction.  ``msg_size``/``task_work``/``task_time_fn``
+    follow :class:`repro.core.reduce_op.ReduceProblem` (the reduce-scatter
+    stage inherits them; the all-gather stage redistributes blocks of size
+    ``msg_size``).
+    """
+
+    platform: PlatformGraph
+    participants: Tuple[NodeId, ...]
+    msg_size: object = 1
+    task_work: object = 1
+    task_time_fn: Optional[Callable] = None
+
+    def __init__(self, platform: PlatformGraph,
+                 participants: Sequence[NodeId], msg_size: object = 1,
+                 task_work: object = 1,
+                 task_time_fn: Optional[Callable] = None) -> None:
+        object.__setattr__(self, "platform", platform)
+        object.__setattr__(self, "participants", tuple(participants))
+        object.__setattr__(self, "msg_size", msg_size)
+        object.__setattr__(self, "task_work", task_work)
+        object.__setattr__(self, "task_time_fn", task_time_fn)
+        if len(self.participants) < 2:
+            raise ValueError("need at least two participants")
+        # stage problems re-validate platform membership / duplicates
+
+    @property
+    def n_values(self) -> int:
+        return len(self.participants)
+
+    def owner(self, j: int) -> NodeId:
+        return self.participants[j]
+
+
+def solve_all_reduce(problem: AllReduceProblem, backend: str = "auto",
+                     eps: float = 1e-9, **solve_kwargs):
+    """Solve both stages and compose (registry-backed wrapper)."""
+    from repro.collectives import solve_collective
+
+    return solve_collective(problem, collective="all-reduce",
+                            backend=backend, eps=eps, **solve_kwargs)
+
+
+def build_all_reduce_schedule(solution):
+    """Concatenated two-phase periodic schedule (registry-backed wrapper)."""
+    from repro.collectives import schedule_collective
+
+    return schedule_collective(solution)

@@ -1,0 +1,272 @@
+"""Weighted arborescence packing for content-divisible flows.
+
+The broadcast LP (paper Section 5 discussion; Beaumont-Legrand-Marchal-
+Robert's series-of-broadcasts) bounds the per-edge *content* rate ``x`` by
+the maximum — not the sum — of the per-target flows, because every target
+receives the same bytes.  Turning such a content assignment into an actual
+schedule means splitting the message stream into slices and routing slice
+``r`` along an *arborescence* ``A_r`` (a directed tree rooted at the
+source that covers every target): edge ``(i, j)`` then carries slice ``r``
+at rate ``w_r``, and ``sum_r w_r [e in A_r] <= x(e)`` keeps the one-port
+occupation at or below the LP's.
+
+:func:`pack_arborescences` performs that decomposition with exact rational
+arithmetic, following the constructive proof of Edmonds' branching theorem:
+repeatedly pick an arborescence inside the support of the remaining
+capacities and give it the largest weight ``w`` that keeps every target's
+max-flow from the source at ``remaining - w`` — the invariant that the rest
+of the demand stays routable.  The weight bound for a violated cut ``S``
+(capacity ``C``, crossed by ``k`` tree edges) is ``w <= (C - remaining) /
+(k - 1)``; cuts found this way are remembered, and later arborescences are
+grown crossing each known tight cut at most once (the Lovász growth rule).
+
+Spanning packings (every node a target) always succeed by Edmonds'
+theorem.  With relay-only nodes (the Steiner/multicast case) the LP bound
+is not always achievable — known to be NP-hard in general — so the packing
+raises :class:`ArborescencePackingError` if it stalls; every platform tier
+shipped in this repository packs completely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+NodeId = Hashable
+EdgeKey = Tuple[NodeId, NodeId]
+
+#: Bound on consecutive zero-weight retries before giving up.
+_MAX_STALLS = 32
+
+
+class ArborescencePackingError(RuntimeError):
+    """The greedy packing could not exhaust the demanded weight."""
+
+
+@dataclass
+class Arborescence:
+    """A weighted directed tree rooted at the source, covering the targets."""
+
+    weight: object
+    edges: Tuple[EdgeKey, ...]
+
+    def children(self) -> Dict[NodeId, Tuple[NodeId, ...]]:
+        """``node -> ordered children`` map of the tree."""
+        out: Dict[NodeId, List[NodeId]] = {}
+        for (i, j) in self.edges:
+            out.setdefault(i, []).append(j)
+        return {n: tuple(cs) for n, cs in out.items()}
+
+    def nodes(self) -> Set[NodeId]:
+        return {n for e in self.edges for n in e}
+
+    def describe(self) -> str:
+        lines = [f"arborescence (weight {self.weight}):"]
+        lines.extend(f"  {i!r} -> {j!r}" for (i, j) in self.edges)
+        return "\n".join(lines)
+
+
+def max_flow(cap: Dict[EdgeKey, object], source: NodeId, sink: NodeId,
+             need: object = None) -> Tuple[object, Optional[Set[NodeId]]]:
+    """Exact max-flow value from ``source`` to ``sink`` under ``cap``.
+
+    Edmonds-Karp over rational capacities.  When ``need`` is given,
+    augmentation stops as soon as the flow reaches it (the caller only
+    wants a feasibility answer) and the returned cut is ``None``; otherwise
+    the second component is the source side of a minimum cut.
+    """
+    residual: Dict[NodeId, Dict[NodeId, object]] = {}
+    for (i, j), c in cap.items():
+        if c > 0:
+            residual.setdefault(i, {})[j] = residual.get(i, {}).get(j, 0) + c
+            residual.setdefault(j, {}).setdefault(i, 0)
+    value = 0
+    while need is None or value < need:
+        parent: Dict[NodeId, NodeId] = {source: source}
+        queue = deque([source])
+        while queue and sink not in parent:
+            u = queue.popleft()
+            for v, c in residual.get(u, {}).items():
+                if c > 0 and v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        if sink not in parent:
+            break
+        path = [sink]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        theta = min(residual[u][v] for u, v in zip(path, path[1:]))
+        if need is not None:
+            room = need - value
+            if theta > room:
+                theta = room
+        for u, v in zip(path, path[1:]):
+            residual[u][v] -= theta
+            residual[v][u] = residual[v].get(u, 0) + theta
+        value = value + theta
+    if need is not None and value >= need:
+        return value, None
+    reach: Set[NodeId] = {source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v, c in residual.get(u, {}).items():
+            if c > 0 and v not in reach:
+                reach.add(v)
+                queue.append(v)
+    return value, reach
+
+
+def _find_arborescence(cap: Dict[EdgeKey, object], source: NodeId,
+                       targets: Sequence[NodeId],
+                       tight_cuts: Sequence[Set[NodeId]] = ()) -> Tuple[EdgeKey, ...]:
+    """A directed tree rooted at ``source`` covering ``targets`` inside the
+    support of ``cap``, pruned of target-free branches.
+
+    Growth prefers high-capacity edges and crosses each known tight cut at
+    most once; if that restriction makes a target unreachable the search
+    falls back to the unrestricted tree.
+    """
+    adj: Dict[NodeId, List[Tuple[NodeId, object]]] = {}
+    for (i, j), c in cap.items():
+        if c > 0:
+            adj.setdefault(i, []).append((j, c))
+    for lst in adj.values():
+        lst.sort(key=lambda vc: (str(vc[0]),))
+        lst.sort(key=lambda vc: vc[1], reverse=True)
+
+    def grow(restrict: bool) -> Optional[Dict[NodeId, NodeId]]:
+        parent: Dict[NodeId, NodeId] = {source: source}
+        crossings = [0] * len(tight_cuts)
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v, _c in adj.get(u, ()):
+                if v in parent:
+                    continue
+                if restrict:
+                    crossed = [idx for idx, cut in enumerate(tight_cuts)
+                               if u in cut and v not in cut]
+                    if any(crossings[idx] >= 1 for idx in crossed):
+                        continue
+                    for idx in crossed:
+                        crossings[idx] += 1
+                parent[v] = u
+                queue.append(v)
+        if all(t in parent for t in targets):
+            return parent
+        return None
+
+    parent = grow(restrict=True) if tight_cuts else None
+    if parent is None:
+        parent = grow(restrict=False)
+    if parent is None:
+        missing = [t for t in targets if t != source]
+        raise ArborescencePackingError(
+            f"no arborescence from {source!r} reaches all of {missing!r} in "
+            "the remaining capacity support")
+
+    # prune branches that serve no target: keep exactly the union of
+    # root->target parent chains
+    keep: Set[NodeId] = {source}
+    for t in targets:
+        n = t
+        while n not in keep:
+            keep.add(n)
+            n = parent[n]
+    edges = tuple((parent[v], v) for v in parent
+                  if v != source and v in keep)
+    return edges
+
+
+def _max_weight(cap: Dict[EdgeKey, object], edges: Tuple[EdgeKey, ...],
+                source: NodeId, targets: Sequence[NodeId],
+                remaining: object) -> Tuple[object, Optional[Set[NodeId]]]:
+    """Largest ``w`` such that removing ``w`` along ``edges`` keeps every
+    target's max-flow at ``remaining - w``.
+
+    Returns ``(w, None)`` on success, or ``(0, tight cut)`` when the
+    arborescence double-crosses a cut that is already tight at capacity
+    ``remaining`` (the caller should re-grow avoiding that cut).
+    """
+    tree = set(edges)
+    w = min([remaining] + [cap[e] for e in edges])
+    for _ in range(256):  # each round pins one more violated cut
+        reduced = {e: (c - w if e in tree else c) for e, c in cap.items()}
+        for t in targets:
+            if t == source:
+                continue
+            val, cut = max_flow(reduced, source, t, need=remaining - w)
+            if cut is None:
+                continue
+            # cut capacity decreases by k*w while the demand side only
+            # decreases by w: feasibility needs C - k*w >= remaining - w
+            k = sum(1 for (i, j) in tree if i in cut and j not in cut)
+            c0 = sum(c for (i, j), c in cap.items()
+                     if i in cut and j not in cut)
+            if k <= 1:
+                raise ArborescencePackingError(
+                    f"cut {sorted(map(str, cut))!r} infeasible before any "
+                    "weight was removed — content capacities do not carry "
+                    "the demanded flow")
+            bound = Fraction(c0 - remaining) / (k - 1)
+            if bound <= 0:
+                return 0, cut
+            if bound >= w:
+                raise ArborescencePackingError(
+                    "parametric cut bound failed to shrink — inconsistent "
+                    "capacities")
+            w = bound
+            break
+        else:
+            return w, None
+    raise ArborescencePackingError("cut tightening did not converge")
+
+
+def pack_arborescences(cap: Dict[EdgeKey, object], source: NodeId,
+                       targets: Sequence[NodeId],
+                       total: object) -> List[Arborescence]:
+    """Decompose content capacities into weighted arborescences.
+
+    ``cap`` maps edges to content rates (exact rationals) supporting a
+    ``total``-valued flow from ``source`` to every target; the result is a
+    list of weighted arborescences of total weight exactly ``total`` whose
+    per-edge usage never exceeds ``cap``.
+    """
+    targets = [t for t in targets if t != source]
+    if total <= 0 or not targets:
+        return []
+    residual = {e: c for e, c in cap.items() if c > 0}
+    for t in targets:
+        val, _cut = max_flow(residual, source, t)
+        if val < total:
+            raise ArborescencePackingError(
+                f"content capacities carry only {val} of {total} from "
+                f"{source!r} to {t!r}")
+    remaining = total
+    tight_cuts: List[Set[NodeId]] = []
+    out: List[Arborescence] = []
+    stalls = 0
+    while remaining > 0:
+        edges = _find_arborescence(residual, source, targets, tight_cuts)
+        w, cut = _max_weight(residual, edges, source, targets, remaining)
+        if w <= 0:
+            tight_cuts.append(cut)
+            stalls += 1
+            if stalls > _MAX_STALLS:
+                raise ArborescencePackingError(
+                    f"packing stalled with {remaining} of {total} left — "
+                    "the content LP bound is not arborescence-achievable "
+                    "on this platform (Steiner gap)")
+            continue
+        stalls = 0
+        out.append(Arborescence(weight=w, edges=edges))
+        for e in edges:
+            residual[e] = residual[e] - w
+            if residual[e] <= 0:
+                del residual[e]
+        remaining = remaining - w
+    return out

@@ -261,45 +261,23 @@ def build_reduce_scatter_schedule(solution: ReduceScatterSolution,
                                   trees: Optional[Dict[int, list]] = None):
     """Periodic schedule superposing every block's reduction trees.
 
-    Item tokens are ``("val", (k, m), (b, r))`` — block ``b``, tree ``r``
-    — so per-block streams stay distinct in the simulator; deliveries are
-    each block's full interval at that block's target.  The schedule
+    Each block contributes the rate bundle of its reduction trees
+    (:func:`repro.core.schedule.tree_rate_bundle`, stream ids ``(b, r)`` so
+    per-block streams stay distinct in the simulator), and the shared
+    :func:`repro.core.schedule.superpose_schedules` merges them into one
+    period — the same machinery every joint composite rides.  The schedule
     throughput is ``TP`` (one operation == one delivery of *every* block).
     """
-    from repro.core.schedule import schedule_from_rates
+    from repro.core.schedule import superpose_schedules, tree_rate_bundle
 
     if not solution.exact:
         raise ValueError("schedule construction needs exact rational rates")
     if trees is None:
         trees = solution.extract()
     problem = solution.problem
-    g = problem.platform
-    rates: Dict[Tuple[NodeId, NodeId, object], Tuple[object, object]] = {}
-    compute_rates: Dict[Tuple[NodeId, object], Tuple[object, Tuple, object]] = {}
-    deliveries: Dict[object, NodeId] = {}
-    full = iv.full_interval(problem.n_values)
-    for b, block_trees in trees.items():
-        for r, tree in enumerate(block_trees):
-            w = tree.weight
-            for tr in tree.transfers:
-                i, j, (k, m) = tr.src, tr.dst, tr.interval
-                item = ("val", (k, m), (b, r))
-                unit_time = problem.size((k, m)) * g.cost(i, j)
-                old = rates.get((i, j, item), (0, unit_time))
-                rates[(i, j, item)] = (old[0] + w, unit_time)
-            for tk in tree.tasks:
-                node, (k, l, m) = tk.node, tk.task
-                out_item = ("val", (k, m), (b, r))
-                in_items = (("val", (k, l), (b, r)), ("val", (l + 1, m), (b, r)))
-                unit_time = problem.task_time(node, (k, l, m))
-                old = compute_rates.get((node, out_item))
-                if old is None:
-                    compute_rates[(node, out_item)] = (w, in_items, unit_time)
-                else:
-                    compute_rates[(node, out_item)] = \
-                        (old[0] + w, in_items, unit_time)
-            deliveries[("val", full, (b, r))] = problem.block_target(b)
-    return schedule_from_rates(rates, throughput=solution.throughput,
-                               deliveries=deliveries,
-                               name=f"reduce-scatter({g.name})",
-                               compute_rates=compute_rates)
+    bundles = [tree_rate_bundle(problem, block_trees,
+                                target=problem.block_target(b),
+                                stream=lambda r, b=b: (b, r))
+               for b, block_trees in trees.items()]
+    return superpose_schedules(bundles, throughput=solution.throughput,
+                               name=f"reduce-scatter({problem.platform.name})")

@@ -12,6 +12,26 @@ every transfer moves an integer number of messages (Figure 4b).
 For reduce schedules the per-node computation load (``α(Pi) ≤ 1``) is packed
 sequentially inside the period; computations overlap communications freely
 (full-overlap assumption of Section 2).
+
+Schedule **superposition** is the shared machinery behind composed
+collectives: every collective (or every stage of a composite) describes its
+steady-state traffic as a :class:`RateBundle` — rates, deliveries, compute
+rates, and item replications — and
+
+- :func:`superpose_schedules` merges several bundles that share one
+  period/one-port budget (a *joint* composition: reduce-scatter's
+  per-block reduces, all-gather's per-block broadcasts) into a single
+  matching decomposition, while
+- :func:`concatenate_schedules` chains fully built stage schedules
+  back-to-back (a *sequential* composition: all-reduce as reduce-scatter
+  followed by all-gather), rescaling each stage so all stages perform the
+  same number of operations per super-period.
+
+``replicas`` extend the item model for content-divisible flows (broadcast,
+Section 5 discussion): when an instance of a replicated item lands at a
+node it is immediately re-materialized as the mapped items there — this is
+how one received message slice fans out to several children of a broadcast
+arborescence (and to the node's own delivery) without violating one-port.
 """
 
 from __future__ import annotations
@@ -78,6 +98,19 @@ class PeriodicSchedule:
     deliveries:
         ``item -> destination node`` for items whose arrival completes an
         operation (used by the simulator to count throughput).
+    replicas:
+        ``(node, item) -> replacement items``: an instance of the item
+        *landing at that node* is re-materialized as the mapped items
+        (same payload/stamp) — content-divisible fan-out for broadcast
+        arborescences.  Keyed by node so a copy buffered elsewhere (e.g.
+        awaiting its own hop) is left alone.  An empty tuple absorbs the
+        instance.
+    delivery_mode:
+        How the simulator counts completed operations: ``"min"`` (every
+        delivery stream per op — scatter/gossip), ``"sum"`` (independent
+        TP-rate streams are summed — reduce trees, broadcast slices), or
+        ``None`` for the legacy inference (``"sum"`` iff compute tasks
+        exist).
     """
 
     name: str
@@ -87,6 +120,8 @@ class PeriodicSchedule:
     per_period: Dict[Item, int]
     deliveries: Dict[Item, NodeId]
     compute: Dict[NodeId, List[ComputeTask]] = field(default_factory=dict)
+    replicas: Dict[Tuple[NodeId, Item], Tuple[Item, ...]] = field(default_factory=dict)
+    delivery_mode: Optional[str] = None
     # lazy one-pass caches; never compare/serialize these
     _busy_cache: Optional[Tuple[Dict[NodeId, object], Dict[NodeId, object]]] = \
         field(default=None, init=False, repr=False, compare=False)
@@ -183,7 +218,8 @@ class PeriodicSchedule:
             name=self.name, period=self.period * factor,
             throughput=self.throughput, slots=slots,
             per_period={k: v * factor for k, v in self.per_period.items()},
-            deliveries=dict(self.deliveries), compute=compute)
+            deliveries=dict(self.deliveries), compute=compute,
+            replicas=dict(self.replicas), delivery_mode=self.delivery_mode)
 
 
 def _denominator(x) -> int:
@@ -214,6 +250,8 @@ def schedule_from_rates(
         compute_rates: Optional[Dict[Tuple[NodeId, Item], Tuple[object, Tuple[Item, ...], object]]] = None,
         period: Optional[int] = None,
         integral_times: str = "auto",
+        replicas: Optional[Dict[Item, Tuple[Item, ...]]] = None,
+        delivery_mode: Optional[str] = None,
 ) -> PeriodicSchedule:
     """Build a periodic schedule from steady-state rates.
 
@@ -230,6 +268,9 @@ def schedule_from_rates(
     compute_rates:
         ``(node, output item) -> (rate, input items, unit_time)`` for reduce
         schedules.
+    replicas / delivery_mode:
+        Forwarded to :class:`PeriodicSchedule` (item fan-out on landing and
+        the simulator's op-counting mode).
     period:
         Override the period (must make all counts integral); defaults to the
         lcm of rate denominators (including compute and throughput).
@@ -343,7 +384,258 @@ def schedule_from_rates(
     return PeriodicSchedule(name=name, period=Fraction(T),
                             throughput=throughput, slots=slots,
                             per_period=per_period, deliveries=dict(deliveries),
-                            compute=compute)
+                            compute=compute, replicas=dict(replicas or {}),
+                            delivery_mode=delivery_mode)
+
+
+# ----------------------------------------------------------------------
+# rate bundles and schedule superposition (shared by composed collectives)
+# ----------------------------------------------------------------------
+
+#: Wrapper tag for per-stage item namespacing in composed schedules.
+STAGE_TAG = "stg"
+
+
+def tag_item(stage: object, item: Item) -> Item:
+    """Namespace ``item`` under a composition stage."""
+    return (STAGE_TAG, stage, item)
+
+
+def untag_item(item: Item) -> Optional[Tuple[object, Item]]:
+    """``(stage, inner item)`` if ``item`` is stage-tagged, else ``None``."""
+    if isinstance(item, tuple) and len(item) == 3 and item[0] == STAGE_TAG:
+        return item[1], item[2]
+    return None
+
+
+@dataclass
+class RateBundle:
+    """One schedule layer's steady-state description, pre-decomposition.
+
+    The inputs of :func:`schedule_from_rates` as data: transfer ``rates``
+    (``(src, dst, item) -> (rate, unit_time)``), ``deliveries``
+    (``item -> completing node``), optional ``compute_rates`` and
+    ``replicas``.  Bundles are what composed collectives superpose: each
+    stage contributes one bundle, items namespaced via :meth:`tagged`.
+    """
+
+    rates: Dict[Tuple[NodeId, NodeId, Item], Tuple[object, object]]
+    deliveries: Dict[Item, NodeId]
+    compute_rates: Dict[Tuple[NodeId, Item], Tuple[object, Tuple[Item, ...], object]] = \
+        field(default_factory=dict)
+    replicas: Dict[Tuple[NodeId, Item], Tuple[Item, ...]] = field(default_factory=dict)
+
+    def tagged(self, stage: object) -> "RateBundle":
+        """The same bundle with every item namespaced under ``stage``."""
+        t = lambda it: tag_item(stage, it)  # noqa: E731
+        return RateBundle(
+            rates={(i, j, t(it)): rt for (i, j, it), rt in self.rates.items()},
+            deliveries={t(it): n for it, n in self.deliveries.items()},
+            compute_rates={(n, t(out)): (r, tuple(t(x) for x in ins), u)
+                           for (n, out), (r, ins, u) in self.compute_rates.items()},
+            replicas={(n, t(it)): tuple(t(x) for x in reps)
+                      for (n, it), reps in self.replicas.items()})
+
+    @staticmethod
+    def merge(bundles: Sequence["RateBundle"]) -> "RateBundle":
+        """One bundle superposing several; item keys must be disjoint
+        (raises otherwise — namespace stage items via :meth:`tagged`)."""
+        return RateBundle(
+            rates=_merge_disjoint((b.rates for b in bundles), "rate"),
+            deliveries=_merge_disjoint((b.deliveries for b in bundles),
+                                       "delivery"),
+            compute_rates=_merge_disjoint((b.compute_rates for b in bundles),
+                                          "compute"),
+            replicas=_merge_disjoint((b.replicas for b in bundles),
+                                     "replica"))
+
+
+def _merge_disjoint(dicts, what: str) -> dict:
+    out: dict = {}
+    for d in dicts:
+        for k, v in d.items():
+            if k in out:
+                raise ValueError(f"superposition: duplicate {what} key {k!r}; "
+                                 "namespace stage items via RateBundle.tagged")
+            out[k] = v
+    return out
+
+
+def superpose_schedules(bundles: Sequence[RateBundle], throughput: object,
+                        name: str = "superposed",
+                        delivery_mode: Optional[str] = None,
+                        **kwargs) -> PeriodicSchedule:
+    """One periodic schedule for several rate bundles sharing the period.
+
+    This is the *joint* composition: every bundle's traffic runs
+    concurrently inside one period, so the merged rates must jointly
+    respect the one-port capacities (which is exactly what a joint LP over
+    shared capacities guarantees).  Item keys must be disjoint across
+    bundles — stages of a composite tag theirs via
+    :meth:`RateBundle.tagged`; reduce-scatter's per-block bundles carry the
+    block id inside the item already.
+
+    Extra keyword arguments reach :func:`schedule_from_rates`.
+    """
+    merged = RateBundle.merge(bundles)
+    return schedule_from_rates(merged.rates, throughput=throughput,
+                               deliveries=merged.deliveries, name=name,
+                               compute_rates=merged.compute_rates or None,
+                               replicas=merged.replicas or None,
+                               delivery_mode=delivery_mode, **kwargs)
+
+
+def concatenate_schedules(schedules: Sequence[PeriodicSchedule],
+                          name: str = "sequential",
+                          delivery_mode: Optional[str] = "sum") -> PeriodicSchedule:
+    """Chain stage schedules back-to-back into one super-period.
+
+    This is the *sequential* composition: stage ``k+1``'s phase starts when
+    stage ``k``'s phase ends, so the one-port constraints hold per phase
+    with no joint capacity coupling.  Each stage is rescaled so all stages
+    perform the same number ``N`` of operations per super-period (``N`` =
+    lcm of the per-period op counts); the composed throughput is therefore
+    ``N / sum(T_k)  ==  1 / sum(1 / TP_k)`` — the harmonic composition of
+    the stage throughputs.
+
+    Stage item sets must be disjoint (tag them via :func:`retag_schedule`).
+    """
+    if not schedules:
+        raise ValueError("need at least one schedule to concatenate")
+    ops: List[int] = []
+    for s in schedules:
+        o = s.ops_per_period()
+        if o != int(o) or o <= 0:
+            raise ValueError(f"{s.name}: ops per period {o} not a positive "
+                             "integer")
+        ops.append(int(o))
+    n_ops = 1
+    for o in ops:
+        n_ops = _lcm(n_ops, o)
+    scaled = [s if n_ops == o else s.scaled(n_ops // o)
+              for s, o in zip(schedules, ops)]
+    period = sum((s.period for s in scaled), Fraction(0))
+    slots = [slot for s in scaled for slot in s.slots]
+    per_period = _merge_disjoint((s.per_period for s in scaled), "per-period")
+    deliveries = _merge_disjoint((s.deliveries for s in scaled), "delivery")
+    replicas = _merge_disjoint((s.replicas for s in scaled), "replica")
+    compute: Dict[NodeId, List[ComputeTask]] = {}
+    for s in scaled:
+        for node, tasks in s.compute.items():
+            compute.setdefault(node, []).extend(tasks)
+    return PeriodicSchedule(name=name, period=period,
+                            throughput=Fraction(n_ops) / period, slots=slots,
+                            per_period=per_period, deliveries=deliveries,
+                            compute=compute, replicas=replicas,
+                            delivery_mode=delivery_mode)
+
+
+def retag_schedule(schedule: PeriodicSchedule, stage: object) -> PeriodicSchedule:
+    """A copy of ``schedule`` with every item namespaced under ``stage``."""
+    t = lambda it: tag_item(stage, it)  # noqa: E731
+    slots = [Slot(duration=s.duration,
+                  transfers=[Transfer(tr.src, tr.dst, t(tr.item), tr.units,
+                                      tr.time)
+                             for tr in s.transfers])
+             for s in schedule.slots]
+    compute = {n: [ComputeTask(ct.node, t(ct.output),
+                               tuple(t(x) for x in ct.inputs), ct.count,
+                               ct.unit_time)
+                   for ct in tasks]
+               for n, tasks in schedule.compute.items()}
+    return PeriodicSchedule(
+        name=schedule.name, period=schedule.period,
+        throughput=schedule.throughput, slots=slots,
+        per_period={t(it): v for it, v in schedule.per_period.items()},
+        deliveries={t(it): n for it, n in schedule.deliveries.items()},
+        compute=compute,
+        replicas={(n, t(it)): tuple(t(x) for x in reps)
+                  for (n, it), reps in schedule.replicas.items()},
+        delivery_mode=schedule.delivery_mode)
+
+
+def stage_view(schedule: PeriodicSchedule, stage: object) -> PeriodicSchedule:
+    """One stage's slice of a composed schedule, with items un-tagged.
+
+    The inverse of :func:`retag_schedule` restricted to ``stage``: slots
+    keep their durations but only carry the stage's transfers.  Collective
+    specs use the view to derive per-stage simulator semantics from the
+    composite schedule alone.
+    """
+    def keep(item):
+        tagged = untag_item(item)
+        return tagged[1] if tagged is not None and tagged[0] == stage else None
+
+    slots = []
+    for s in schedule.slots:
+        transfers = []
+        for tr in s.transfers:
+            inner = keep(tr.item)
+            if inner is not None:
+                transfers.append(Transfer(tr.src, tr.dst, inner, tr.units,
+                                          tr.time))
+        slots.append(Slot(duration=s.duration, transfers=transfers))
+    compute: Dict[NodeId, List[ComputeTask]] = {}
+    for n, tasks in schedule.compute.items():
+        kept = [ComputeTask(ct.node, keep(ct.output),
+                            tuple(keep(x) for x in ct.inputs), ct.count,
+                            ct.unit_time)
+                for ct in tasks if keep(ct.output) is not None]
+        if kept:
+            compute[n] = kept
+    return PeriodicSchedule(
+        name=f"{schedule.name}#{stage}", period=schedule.period,
+        throughput=schedule.throughput, slots=slots,
+        per_period={inner: v for it, v in schedule.per_period.items()
+                    if (inner := keep(it)) is not None},
+        deliveries={inner: n for it, n in schedule.deliveries.items()
+                    if (inner := keep(it)) is not None},
+        compute=compute,
+        replicas={(n, inner): tuple(keep(x) for x in reps)
+                  for (n, it), reps in schedule.replicas.items()
+                  if (inner := keep(it)) is not None},
+        delivery_mode=schedule.delivery_mode)
+
+
+def tree_rate_bundle(problem, trees, target: NodeId,
+                     stream=lambda r: r) -> RateBundle:
+    """Rate bundle of a family of weighted reduction trees.
+
+    ``stream(r)`` is the item namespace of tree ``r`` (plain reduce uses
+    the tree index; reduce-scatter wraps it as ``(block, r)``), ``target``
+    receives the full interval.  ``problem`` provides ``size``,
+    ``task_time``, ``platform`` and ``n_values`` — both
+    :class:`~repro.core.reduce_op.ReduceProblem` and
+    :class:`~repro.core.reduce_scatter.ReduceScatterProblem` qualify.
+    """
+    g = problem.platform
+    rates: Dict[Tuple[NodeId, NodeId, Item], Tuple[object, object]] = {}
+    compute_rates: Dict[Tuple[NodeId, Item], Tuple[object, Tuple[Item, ...], object]] = {}
+    deliveries: Dict[Item, NodeId] = {}
+    full = (0, problem.n_values - 1)
+    for r, tree in enumerate(trees):
+        w = tree.weight
+        sid = stream(r)
+        for tr in tree.transfers:
+            i, j, (k, m) = tr.src, tr.dst, tr.interval
+            item = ("val", (k, m), sid)
+            unit_time = problem.size((k, m)) * g.cost(i, j)
+            old = rates.get((i, j, item), (0, unit_time))
+            rates[(i, j, item)] = (old[0] + w, unit_time)
+        for tk in tree.tasks:
+            node, (k, l, m) = tk.node, tk.task
+            out_item = ("val", (k, m), sid)
+            in_items = (("val", (k, l), sid), ("val", (l + 1, m), sid))
+            unit_time = problem.task_time(node, (k, l, m))
+            old = compute_rates.get((node, out_item))
+            if old is None:
+                compute_rates[(node, out_item)] = (w, in_items, unit_time)
+            else:
+                compute_rates[(node, out_item)] = \
+                    (old[0] + w, in_items, unit_time)
+        deliveries[("val", full, sid)] = target
+    return RateBundle(rates=rates, deliveries=deliveries,
+                      compute_rates=compute_rates)
 
 
 def build_reduce_schedule(solution, trees=None):
@@ -357,32 +649,9 @@ def build_reduce_schedule(solution, trees=None):
     if trees is None:
         trees = solution.trees if solution.trees is not None else solution.extract()
     problem = solution.problem
-    g = problem.platform
-    rates: Dict[Tuple[NodeId, NodeId, Item], Tuple[object, object]] = {}
-    compute_rates: Dict[Tuple[NodeId, Item], Tuple[object, Tuple[Item, ...], object]] = {}
-    tp = 0
-    for r, tree in enumerate(trees):
-        w = tree.weight
-        tp = tp + w
-        for tr in tree.transfers:
-            i, j, (k, m) = tr.src, tr.dst, tr.interval
-            item = ("val", (k, m), r)
-            unit_time = problem.size((k, m)) * g.cost(i, j)
-            old = rates.get((i, j, item), (0, unit_time))
-            rates[(i, j, item)] = (old[0] + w, unit_time)
-        for tk in tree.tasks:
-            node, (k, l, m) = tk.node, tk.task
-            out_item = ("val", (k, m), r)
-            in_items = (("val", (k, l), r), ("val", (l + 1, m), r))
-            unit_time = problem.task_time(node, (k, l, m))
-            key = (node, out_item)
-            old = compute_rates.get(key)
-            if old is None:
-                compute_rates[key] = (w, in_items, unit_time)
-            else:
-                compute_rates[key] = (old[0] + w, in_items, unit_time)
-    deliveries = {("val", (0, problem.n_values - 1), r): problem.target
-                  for r in range(len(trees))}
-    return schedule_from_rates(rates, throughput=tp, deliveries=deliveries,
-                               name=f"reduce({g.name})",
-                               compute_rates=compute_rates)
+    bundle = tree_rate_bundle(problem, trees, target=problem.target)
+    tp = sum((t.weight for t in trees), 0)
+    return schedule_from_rates(bundle.rates, throughput=tp,
+                               deliveries=bundle.deliveries,
+                               name=f"reduce({problem.platform.name})",
+                               compute_rates=bundle.compute_rates)

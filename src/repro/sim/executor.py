@@ -73,7 +73,10 @@ class SimulationResult:
         trees with round-robin stamps), an operation is complete when each
         delivery item has produced one more instance — for scatter this is
         exactly "all targets received message #s"; for reduce the deliveries
-        of distinct trees are independent operations and are summed.
+        of distinct trees are independent operations and are summed.  The
+        schedule can pin the mode explicitly via
+        ``PeriodicSchedule.delivery_mode`` (broadcast slices are summed like
+        reduce trees even though no compute tasks exist).
         """
         if within is None:
             within = self.horizon
@@ -81,7 +84,10 @@ class SimulationResult:
                   for item, ts in self.delivery_times.items()}
         if not counts:
             return 0
-        if self.schedule.compute:  # reduce: trees are independent streams
+        mode = self.schedule.delivery_mode
+        if mode is None:  # legacy inference: compute => independent streams
+            mode = "sum" if self.schedule.compute else "min"
+        if mode == "sum":
             return sum(counts.values())
         return min(counts.values())  # scatter/gossip: all items per op
 
@@ -149,6 +155,16 @@ def simulate_schedule(schedule: PeriodicSchedule,
     def land(node: NodeId, inst: Instance, time) -> None:
         """Instance arrives at ``node`` (usable next period); count deliveries."""
         item = inst.item
+        reps = schedule.replicas.get((node, item)) if schedule.replicas \
+            else None
+        if reps is not None:
+            # content-divisible fan-out (broadcast arborescences): the
+            # landed instance re-materializes as the mapped items — copies
+            # for each child edge plus this node's own delivery token
+            for rep in reps:
+                land(node, Instance(item=rep, seq=inst.seq, value=inst.value),
+                     time)
+            return
         if schedule.deliveries.get(item) == node:
             seen = delivery_seen[item]
             if inst.seq in seen:
@@ -290,6 +306,46 @@ def simulate_collective(schedule: PeriodicSchedule, problem, n_periods: int,
     return simulate_schedule(schedule, sem.supplies, n_periods,
                              combine=sem.combine, expected=sem.expected,
                              record_trace=record_trace)
+
+
+def chain_semantics(stage_semantics):
+    """Merge per-stage item semantics into one composite ``SimSemantics``.
+
+    ``stage_semantics`` is a sequence of ``(stage, SimSemantics)`` pairs
+    whose items live in the *un-tagged* per-stage namespace (see
+    :func:`repro.core.schedule.stage_view`); the merged semantics address
+    the composite schedule's tagged items
+    (:func:`repro.core.schedule.tag_item`).  At most one stage may carry a
+    combine operator — composing two different reduction operators in one
+    schedule has no defined payload algebra.
+    """
+    from repro.collectives.base import SimSemantics
+    from repro.core.schedule import tag_item, untag_item
+
+    supplies = {}
+    expected_by_stage = {}
+    combine = None
+    for stage, sem in stage_semantics:
+        for (node, item), factory in sem.supplies.items():
+            supplies[(node, tag_item(stage, item))] = factory
+        if sem.expected is not None:
+            expected_by_stage[stage] = sem.expected
+        if sem.combine is not None:
+            if combine is not None and combine is not sem.combine:
+                raise ValueError("cannot chain two stages with different "
+                                 "combine operators")
+            combine = sem.combine
+
+    def expected(item, seq):
+        tagged = untag_item(item)
+        if tagged is None:
+            return None
+        fn = expected_by_stage.get(tagged[0])
+        return fn(tagged[1], seq) if fn is not None else None
+
+    return SimSemantics(supplies=supplies,
+                        expected=expected if expected_by_stage else None,
+                        combine=combine)
 
 
 def simulate_scatter(schedule: PeriodicSchedule, problem, n_periods: int,

@@ -40,3 +40,22 @@ def rates_table(solution, title: str = "send rates") -> str:
     """
     headers, rows = solution.spec.rate_rows(solution)
     return format_table(headers, rows, title=title)
+
+
+def composition_table(solution, title: str = "composition") -> str:
+    """Stage breakdown of a composed collective solution.
+
+    One row per stage: its registered collective, its own throughput, and
+    the share of the steady state it occupies — the phase fraction
+    ``TP / TP_k`` for sequential composites, ``full period`` for joint
+    ones (all stages run concurrently).
+    """
+    spec = solution.spec
+    sequential = getattr(spec, "mode", "joint") == "sequential"
+    rows = []
+    for k, s in enumerate(solution.stage_solutions or ()):
+        share = (f"{solution.throughput / s.throughput} of period"
+                 if sequential else "full period")
+        rows.append((f"s{k}", s.collective, s.throughput, share))
+    return format_table(["stage", "collective", "TP", "share"], rows,
+                        title=title)

@@ -18,10 +18,11 @@ from repro.platform.examples import figure2_platform, figure6_platform
 
 
 class TestBuiltins:
-    def test_all_five_builtins_registered(self):
+    def test_all_builtins_registered(self):
         names = [s.name for s in available_collectives()]
         assert names == ["scatter", "reduce", "gossip", "prefix",
-                         "reduce-scatter"]
+                         "reduce-scatter", "broadcast", "all-gather",
+                         "all-reduce"]
 
     def test_get_by_name(self):
         assert get_collective("scatter").problem_type is ScatterProblem
@@ -71,6 +72,38 @@ class TestResolution:
     def test_unresolvable_problem(self):
         with pytest.raises(KeyError, match="no registered collective"):
             resolve_collective(object())
+
+    def test_priority_beats_registration_order(self):
+        """Type resolution is explicit: a later-registered spec with a
+        higher priority wins over an earlier one, regardless of order."""
+        class LowSpec(CollectiveSpec):
+            name = "prio-low"
+            problem_type = ScatterProblem
+
+        class HighSpec(CollectiveSpec):
+            name = "prio-high"
+            problem_type = ScatterProblem
+
+        p = ScatterProblem(figure2_platform(), "Ps", ["P0"])
+        try:
+            register_collective(LowSpec())
+            # scatter itself registered first with priority 0: a tie keeps
+            # the first registered (behavior identical to the old rule)
+            assert resolve_collective(p).name == "scatter"
+            register_collective(HighSpec(), priority=5)
+            assert resolve_collective(p).name == "prio-high"
+        finally:
+            unregister_collective("prio-low")
+            unregister_collective("prio-high")
+        assert resolve_collective(p).name == "scatter"
+
+    def test_reduce_priority_is_explicit(self):
+        """The reduce spec claims bare ReduceProblems with an explicit
+        registration priority, not via import order."""
+        import repro.collectives.registry as reg
+
+        reg._load_builtins()
+        assert reg._priorities["reduce"][0] > reg._priorities["prefix"][0]
 
 
 class TestRegistration:

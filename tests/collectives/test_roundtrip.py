@@ -17,6 +17,9 @@ from repro.core.flowclean import (
     PruneEpsilonRatesPass,
     RemoveCyclesPass,
 )
+from repro.core.allgather import AllGatherProblem
+from repro.core.allreduce import AllReduceProblem
+from repro.core.broadcast import BroadcastProblem
 from repro.core.gossip import GossipProblem, GossipSolution, solve_gossip
 from repro.core.prefix import PrefixSolution, solve_prefix
 from repro.core.reduce_op import ReduceProblem, ReduceSolution, solve_reduce
@@ -43,14 +46,30 @@ def _problems():
         "gossip": GossipProblem(tri, [0, 1, 2], [0, 1, 2]),
         "prefix": ReduceProblem(tri, [0, 1, 2], target=0),
         "reduce-scatter": ReduceScatterProblem(tri, [0, 1, 2]),
+        # fig2's relay nodes exercise the Steiner (non-spanning) packing
+        "broadcast": BroadcastProblem(fig2, "Ps", figure2_targets()),
+        "all-gather": AllGatherProblem(tri, [0, 1, 2]),
+        "all-reduce": AllReduceProblem(tri, [0, 1, 2]),
     }
 
 
-EXPECTED_TP = {"scatter": Fraction(1, 2), "reduce": 1}
+EXPECTED_TP = {
+    "scatter": Fraction(1, 2),
+    "reduce": 1,
+    # content sharing beats fig2's scatter (1/2): both targets reuse the
+    # Pb route for part of the message
+    "broadcast": Fraction(7, 12),
+    # each node must receive two blocks through one in-port of capacity 1
+    "all-gather": Fraction(1, 2),
+    # harmonic composition of reduce-scatter (1/2) and all-gather (1/2)
+    "all-reduce": Fraction(1, 4),
+}
+
+ALL_COLLECTIVES = ["scatter", "reduce", "gossip", "prefix", "reduce-scatter",
+                   "broadcast", "all-gather", "all-reduce"]
 
 
-@pytest.mark.parametrize("name", ["scatter", "reduce", "gossip", "prefix",
-                                  "reduce-scatter"])
+@pytest.mark.parametrize("name", ALL_COLLECTIVES)
 class TestRoundTrip:
     def test_solve_verify(self, name):
         problem = _problems()[name]
@@ -78,10 +97,10 @@ class TestRoundTrip:
                                   collective=name)
         assert res.correct
         assert res.completed_ops() > 0
-        # steady state can never beat the LP bound; for compute schedules
-        # completed_ops sums independent delivery streams, and
-        # reduce-scatter has one TP-rate stream group per block
-        streams = len(problem.blocks) if name == "reduce-scatter" else 1
+        # steady state can never beat the LP bound; completed_ops sums
+        # independent delivery streams for compute/broadcast schedules and
+        # each spec declares how many TP-rate stream groups it counts
+        streams = spec.ops_bound_factor(problem)
         bound = float(sol.throughput) * float(res.horizon) * streams
         assert res.completed_ops() <= bound + 1e-9
 
@@ -123,6 +142,41 @@ class TestWrapperEquivalence:
         a = solve_reduce_scatter(p, backend="exact")
         assert isinstance(a, ReduceScatterSolution)
         assert a.verify() == []
+
+    def test_broadcast(self):
+        from repro.core.broadcast import BroadcastSolution, solve_broadcast
+
+        p = _problems()["broadcast"]
+        a = solve_broadcast(p, backend="exact")
+        b = solve_collective(p, backend="exact")  # resolved by type
+        assert isinstance(a, BroadcastSolution)
+        assert isinstance(b, BroadcastSolution)
+        assert a.throughput == b.throughput and a.send == b.send
+        assert a.flows.keys() == b.flows.keys()
+
+    def test_all_gather(self):
+        from repro.collectives import CompositeSolution
+        from repro.core.allgather import solve_all_gather
+
+        p = _problems()["all-gather"]
+        a = solve_all_gather(p, backend="exact")
+        b = solve_collective(p, backend="exact")  # resolved by type
+        assert isinstance(a, CompositeSolution)
+        assert a.throughput == b.throughput and a.send == b.send
+        assert len(a.stage_solutions) == p.n_values
+        assert all(s.collective == "broadcast" for s in a.stage_solutions)
+
+    def test_all_reduce(self):
+        from repro.collectives import CompositeSolution
+        from repro.core.allreduce import solve_all_reduce
+
+        p = _problems()["all-reduce"]
+        a = solve_all_reduce(p, backend="exact")
+        b = solve_collective(p, backend="exact")  # resolved by type
+        assert isinstance(a, CompositeSolution)
+        assert a.throughput == b.throughput
+        assert [s.collective for s in a.stage_solutions] == \
+            ["reduce-scatter", "all-gather"]
 
 
 class TestPassOverrides:

@@ -2,9 +2,10 @@
 
 Fails when the exact pipeline (presolve + simplex + postsolve) regresses
 more than 2× versus the recorded baseline on the guarded tiers — the
-Figure 9–12 platform plus the two PR 3 scale rungs (``complete7_reduce``,
-``ring48_scatter``) — with a small absolute cushion so timer noise on
-sub-second solves cannot flake the suite.  Also pins the cross-baseline
+Figure 9–12 platform, the two PR 3 scale rungs (``complete7_reduce``,
+``ring48_scatter``) and the PR 4 composition rung (``fig9_allgather``,
+the joint 8-broadcast LP) — with a small absolute cushion so timer noise
+on sub-second solves cannot flake the suite.  Also pins the cross-baseline
 acceptance bar: the committed fig9 timing must stay ≥2× under the frozen
 PR 1 record (both files were measured on the same machine).
 
@@ -53,6 +54,8 @@ EXPECTED_OBJECTIVE = {
     "fig9_reduce": Fraction(2, 9),
     "complete7_reduce": Fraction(1),
     "ring48_scatter": Fraction(1, 47),
+    # PR 4 composition tier: 8 broadcast stages jointly over fig9
+    "fig9_allgather": Fraction(1, 9),
 }
 
 
@@ -64,7 +67,7 @@ def _build(name):
 
 @pytest.mark.perf_smoke
 @pytest.mark.parametrize("case", ["fig9_reduce", "complete7_reduce",
-                                  "ring48_scatter"])
+                                  "ring48_scatter", "fig9_allgather"])
 def test_exact_pipeline_within_2x_of_baseline(case):
     if not BASELINE_PATH.exists():
         pytest.skip("no BENCH_PR3.json baseline; run benchmarks/perf_report.py")
