@@ -146,9 +146,20 @@ def _composite_cases() -> Dict[str, Callable[[], object]]:
                                 collective="all-reduce", backend="exact",
                                 cache=False)
 
+    def fig6_allreduce_pipelined():
+        # PR 5 workload rung: the chained joint LP overlapping both
+        # phases (task_work=2 makes the reduce-scatter compute-bound, so
+        # the pipelined TP=1/4 strictly beats the harmonic 1/5)
+        problem = AllReduceProblem(figure6_platform(), [0, 1, 2],
+                                   task_work=2)
+        return solve_collective(problem, collective="all-reduce",
+                                backend="exact", cache=False,
+                                mode="pipelined")
+
     return {
         "fig9_allreduce4": fig9_allreduce4,
         "complete5_allreduce": complete5_allreduce,
+        "fig6_allreduce_pipelined": fig6_allreduce_pipelined,
     }
 
 

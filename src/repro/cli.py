@@ -10,6 +10,7 @@ so adding a collective automatically adds its CLI.  Examples::
     repro broadcast --platform plat.json --source Ps --targets P0,P1
     repro all-gather --platform plat.json --participants 1,2,3
     repro all-reduce --platform plat.json --participants 1,2,3
+    repro all-reduce --platform plat.json --participants 1,2,3 --mode pipelined
     repro collectives        # list every registered collective
     repro demo fig2          # the paper's Figure 2 instance end-to-end
     repro demo fig6
@@ -59,11 +60,16 @@ _parse_node = parse_node
 def _add_solve_subcommand(sub, spec) -> None:
     """One solve subcommand per registered collective, with the shared
     platform/backend/schedule/simulate wiring added exactly once."""
+    from repro.collectives import COMPOSITION_MODES, CompositeCollectiveSpec
+
     sp = sub.add_parser(spec.name, help=spec.title)
     sp.add_argument("--platform", required=True, help="platform JSON file")
     spec.add_arguments(sp)
     sp.add_argument("--backend", default="auto",
                     choices=["auto", "exact", "highs"])
+    if isinstance(spec, CompositeCollectiveSpec):
+        sp.add_argument("--mode", default=None, choices=COMPOSITION_MODES,
+                        help=f"composition mode (default: {spec.mode})")
     if spec.has_schedule:
         sp.add_argument("--schedule", action="store_true",
                         help="build and display the periodic schedule")
@@ -76,8 +82,10 @@ def _cmd_solve(spec, args) -> int:
     g = load_platform(args.platform)
     problem = spec.problem_from_args(g, args)
     sol = solve_collective(problem, collective=spec.name,
-                           backend=args.backend)
-    print(f"platform {g.name}: TP = {sol.throughput}{spec.tp_suffix(problem)}")
+                           backend=args.backend,
+                           mode=getattr(args, "mode", None))
+    print(f"platform {g.name}: TP = {sol.throughput}"
+          f"{spec.tp_suffix(problem, sol)}")
     body = spec.report(sol)
     if body:
         print(body)
@@ -169,6 +177,9 @@ def _cmd_demo(args) -> int:
         print(f"  stage 0 reduce-scatter: TP = {rs.throughput}")
         print(f"  stage 1 all-gather:     TP = {ag.throughput} "
               f"(joint LP over 3 broadcasts)")
+        piped = solve_all_reduce(problem, backend="exact", mode="pipelined")
+        print(f"  pipelined (overlapped phases): TP = {piped.throughput} "
+              f">= sequential {sol.throughput}")
         print(ascii_gantt(build_all_reduce_schedule(sol)))
     else:
         print(f"unknown demo {args.which!r}", file=sys.stderr)

@@ -25,11 +25,15 @@ type resolution (``resolve_by_type = False``), so request
 :class:`CompositeCollectiveSpec` is the composition layer: all-gather is
 a *joint* composite (one broadcast stage per block over shared
 capacities) and all-reduce a *sequential* one (reduce-scatter then
-all-gather, harmonic throughput composition) — see
+all-gather, harmonic throughput composition) that can also be solved
+``mode="pipelined"`` — one joint LP overlapping both phases with
+cross-stage chain rows, never below the harmonic bound — see
 :mod:`repro.collectives.base`.
 """
 
 from repro.collectives.base import (
+    COMPOSITION_MODES,
+    ChainRow,
     CollectiveSolution,
     CollectiveSpec,
     CompositeCollectiveSpec,
@@ -47,6 +51,8 @@ from repro.collectives.registry import (
 from repro.collectives.orchestrator import schedule_collective, solve_collective
 
 __all__ = [
+    "COMPOSITION_MODES",
+    "ChainRow",
     "CollectiveSolution",
     "CollectiveSpec",
     "CompositeCollectiveSpec",

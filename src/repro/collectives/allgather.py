@@ -44,5 +44,10 @@ class AllGatherSpec(CompositeCollectiveSpec):
         return AllGatherProblem(platform, parse_nodes(args.participants),
                                 msg_size=args.msg_size)
 
+    def conformance_problem(self, platform, hosts, rng):
+        if len(hosts) < 2:
+            return None
+        return AllGatherProblem(platform, hosts[:4])
+
 
 ALL_GATHER = register_collective(AllGatherSpec())

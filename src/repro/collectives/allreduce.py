@@ -1,27 +1,47 @@
-"""Registry spec for the Series of All-reduces (sequential composite).
+"""Registry spec for the Series of All-reduces (composite).
 
-Reduce-scatter ∘ all-gather: the canonical decomposition (Träff 2024) as
-a sequential composite — each stage solved on its own LP, the composed
-throughput the harmonic combination of the stage throughputs, the
-schedule the two stage schedules back to back, and the simulator chained
-so the all-gather stage redistributes exactly the values the
-reduce-scatter stage produces (every delivered block must equal the full
-non-commutative reduction).
+Reduce-scatter ∘ all-gather: the canonical decomposition (Träff 2024).
+Two composition modes are meaningful and both are supported per solve:
+
+- ``"sequential"`` (the default): each stage solved on its own LP, the
+  composed throughput the harmonic combination
+  ``1/(1/TP_rs + 1/TP_ag)``, the schedule the two stage schedules back
+  to back.
+- ``"pipelined"``: one joint LP runs both stages concurrently at a
+  single common ``TP`` over the shared one-port/alpha capacities, with
+  :meth:`AllReduceSpec.chain_constraints` coupling the stages — each
+  all-gather broadcast's source outflow is bounded by the reduce-scatter
+  stage's delivery rate of that block, so the redistribution can never
+  outpace the reduction.  Since the phase-scaled sequential solution is
+  feasible for the joint LP, ``TP_pipelined >= TP_sequential`` always,
+  and the bound is strict whenever the phases stress different
+  resources (e.g. a compute-bound reduce-scatter overlapping a
+  link-bound all-gather).  The pipelined schedule superposes both stage
+  bundles in one period, retimed so reduced blocks land before they are
+  re-broadcast, and the simulator credit-gates every all-gather source
+  on actual reduce-scatter deliveries
+  (:meth:`AllReduceSpec.chain_links`).
+
+In either mode the simulator is chained so the all-gather stage
+redistributes exactly the values the reduce-scatter stage produces:
+every delivered block must equal the full non-commutative reduction.
 """
 
 from __future__ import annotations
 
-from repro.collectives.base import CompositeCollectiveSpec, SimSemantics
+from repro.collectives.base import ChainRow, CompositeCollectiveSpec, SimSemantics
 from repro.collectives.registry import register_collective
+from repro.core import intervals as iv
 from repro.core.allgather import AllGatherProblem
 from repro.core.allreduce import AllReduceProblem
-from repro.core.reduce_scatter import ReduceScatterProblem
+from repro.core.broadcast import _fvar
+from repro.core.reduce_scatter import ReduceScatterProblem, _cons_name, _send_name
 from repro.sim.operators import SeqConcat
 
 
 class AllReduceSpec(CompositeCollectiveSpec):
     name = "all-reduce"
-    title = "Series of All-reduces — reduce-scatter then all-gather (sequential composition)"
+    title = "Series of All-reduces — reduce-scatter then all-gather (sequential or pipelined composition)"
     problem_type = AllReduceProblem
     mode = "sequential"
 
@@ -37,6 +57,83 @@ class AllReduceSpec(CompositeCollectiveSpec):
                               msg_size=problem.msg_size)),
         ]
 
+    # ------------------------------------------------- pipelined chaining
+    def chain_constraints(self, problem, stage_lps):
+        """Per (block, target) precedence rows for the pipelined joint LP.
+
+        The all-gather stage's broadcast of block ``b`` sources from the
+        reduce-scatter stage's block-``b`` sink: for every broadcast
+        target ``t``, the gross flow the source emits for ``t`` may not
+        exceed the rate reduced block ``b`` becomes available there
+        (arrivals of ``v[0,n-1]`` plus local final tasks).  At the joint
+        optimum both sides equal ``TP`` — the rows cut only source-cycle
+        vertices, never the optimum (a cycle-cancelled optimal point
+        always satisfies them with equality).
+        """
+        g = problem.platform
+        n = problem.n_values
+        full = iv.full_interval(n)
+        rs_lp, ag_lp = stage_lps
+        rows = []
+        for b, src in enumerate(problem.participants):
+            # production side: the SSRS delivery expression of block b
+            produce = []
+            for q in g.predecessors(src):
+                name = _send_name(q, src, b, full)
+                if _has_var(rs_lp, name):
+                    produce.append((0, name, -1))
+            for t in iv.tasks_producing(full):
+                name = _cons_name(src, b, t)
+                if _has_var(rs_lp, name):
+                    produce.append((0, name, -1))
+            # consumption side: block b's broadcast stage is the inner
+            # all-gather composite's stage b, so its variables carry the
+            # inner `s{b}:` prefix inside the all-gather joint LP
+            for tgt in problem.participants:
+                if tgt == src:
+                    continue
+                consume = []
+                for q in g.successors(src):
+                    name = f"s{b}:{_fvar(src, q, tgt)}"
+                    if _has_var(ag_lp, name):
+                        consume.append((1, name, 1))
+                if consume and produce:
+                    rows.append(ChainRow(name=f"chain[b{b},m{tgt}]",
+                                         terms=tuple(consume + produce)))
+        return tuple(rows)
+
+    def chain_links(self, solution):
+        """Item-level chain contracts for the pipelined schedule/simulator.
+
+        Block ``b``'s reduce-scatter deliveries (one per extracted
+        reduction tree) mint the credits that block ``b``'s broadcast
+        arborescence roots spend — one credit per operation per
+        arborescence stream, sibling root edges of one arborescence
+        drawing the same operation for free.
+        """
+        from repro.core.schedule import ChainLink, tag_item
+
+        rs, ag = solution.stage_solutions
+        problem = solution.problem
+        full = iv.full_interval(problem.n_values)
+        rs_trees = rs.extract()
+        links = []
+        for b, src in enumerate(problem.participants):
+            produced = tuple(tag_item(0, ("val", full, (b, r)))
+                             for r in range(len(rs_trees.get(b, ()))))
+            consumed = []
+            for r2, arb in enumerate(ag.stage_solutions[b].arborescences()):
+                for (i, j) in arb.edges:
+                    if i == src:
+                        consumed.append(
+                            (tag_item(1, tag_item(b, ("slc", r2, j))),
+                             (b, r2)))
+            if produced and consumed:
+                links.append(ChainLink(label=f"block{b}", produced=produced,
+                                       consumer=src,
+                                       consumed=tuple(consumed)))
+        return tuple(links)
+
     def chain_stage(self, k, sem, stage_problem, op) -> SimSemantics:
         """Feed the reduced blocks into the redistribution stage.
 
@@ -46,6 +143,9 @@ class AllReduceSpec(CompositeCollectiveSpec):
         all-gather stage's broadcast sources supply that value and every
         all-gather delivery is checked against it: the simulation proves
         end-to-end that what reaches every participant *is* the reduction.
+        (In pipelined mode those supplies are additionally credit-gated by
+        :meth:`chain_links`, so nothing is redistributed before the
+        reduce-scatter stage actually delivered it.)
         """
         if k != 1:
             return sem
@@ -74,6 +174,21 @@ class AllReduceSpec(CompositeCollectiveSpec):
         return AllReduceProblem(platform, parse_nodes(args.participants),
                                 msg_size=args.msg_size,
                                 task_work=args.task_work)
+
+    # ---------------------------------------------------- conformance
+    def conformance_problem(self, platform, hosts, rng):
+        if len(hosts) < 2:
+            return None
+        # the SSRS stage LP grows ~n^4: keep conformance instances small
+        return AllReduceProblem(platform, hosts[:3])
+
+
+def _has_var(lp, name: str) -> bool:
+    try:
+        lp.get(name)
+        return True
+    except KeyError:
+        return False
 
 
 ALL_REDUCE = register_collective(AllReduceSpec())

@@ -22,7 +22,7 @@ decompositions (``paths``), exactness metadata, and shared
 
 :class:`CompositeCollectiveSpec` is the composition layer on top: a
 collective defined as a list of *registered stages* sharing the one-port /
-alpha capacities.  Two composition modes exist:
+alpha capacities.  Three composition modes exist:
 
 - ``"joint"`` — all stages run concurrently at one common ``TP``;
   :func:`compose_joint_lp` merges the stage LPs into a single LP whose
@@ -33,6 +33,21 @@ alpha capacities.  Two composition modes exist:
   steady state; each stage is solved on its own and the composed
   throughput is the harmonic combination ``1 / sum(1 / TP_k)``.
   All-reduce rides this mode as reduce-scatter followed by all-gather.
+- ``"pipelined"`` — the joint mode for *chained* stages: all stages run
+  concurrently at one common ``TP`` like ``"joint"``, but stage ``k+1``
+  consumes what stage ``k`` produces, so the spec's
+  :meth:`CompositeCollectiveSpec.chain_constraints` hook emits
+  cross-stage precedence rows (:class:`ChainRow`, named ``chain[..]`` —
+  a prefix :mod:`repro.lp.presolve` protects) into the joint LP, the
+  schedule is retimed so chained items land before they depart
+  (:func:`repro.core.schedule.retime_for_chaining`), and the simulator
+  credit-gates the chained supplies
+  (:meth:`CompositeCollectiveSpec.chain_links`).  Because any sequential
+  solution — each stage scaled by its phase fraction — is feasible for
+  the joint LP, ``TP_pipelined >= TP_sequential`` always holds, with
+  strict improvement whenever the phases stress different links or CPUs.
+  All-reduce supports this as its overlapped third mode
+  (``solve_collective(problem, mode="pipelined")``).
 
 Either way the composite is an ordinary registered collective: the
 orchestrator, schedule superposition/concatenation
@@ -318,13 +333,23 @@ class CollectiveSpec:
         """Build the problem from parsed CLI arguments."""
         raise NotImplementedError
 
+    def conformance_problem(self, platform, hosts, rng):
+        """A representative problem for the cross-collective conformance
+        suite (``tests/conformance/``): given a generated platform, its
+        compute ``hosts`` (at least two) and a seeded ``rng``, return a
+        problem instance to round-trip on both LP backends — or ``None``
+        when the platform does not fit this collective.  Implementing
+        this is enough for a newly registered collective to be picked up
+        by the suite automatically."""
+        return None
+
     def report(self, solution: CollectiveSolution) -> str:
         """CLI body printed after the throughput line."""
         from repro.viz.tables import rates_table
 
         return rates_table(solution)
 
-    def tp_suffix(self, problem) -> str:
+    def tp_suffix(self, problem, solution=None) -> str:
         """Extra text appended to the CLI throughput line."""
         return ""
 
@@ -389,8 +414,38 @@ class CollectiveSpec:
 #: across stages (summing their occupation expressions).
 CAPACITY_PREFIXES = ("edge[", "out[", "in[", "alpha[")
 
+#: Constraint-name prefix of cross-stage coupling rows.  Part of the
+#: composition contract: :mod:`repro.lp.presolve` never eliminates a row
+#: carrying this prefix (see ``PROTECTED_ROW_PREFIXES`` there), so the
+#: chaining structure survives into the reduced model and the postsolved
+#: solution demonstrably satisfies every coupling row.
+CHAIN_PREFIX = "chain["
 
-def compose_joint_lp(name: str, stage_lps: Sequence[LinearProgram]) -> LinearProgram:
+#: Modes a :class:`CompositeCollectiveSpec` understands.
+COMPOSITION_MODES = ("joint", "sequential", "pipelined")
+
+
+@dataclass(frozen=True)
+class ChainRow:
+    """One cross-stage coupling row of a pipelined joint LP.
+
+    ``terms`` are ``(stage index, stage-local variable name, coef)``
+    triples (``"TP"`` addresses the shared throughput variable); the row
+    reads ``sum(coef * var) <sense> rhs``.  ``name`` must carry
+    :data:`CHAIN_PREFIX` so presolve protects it.  The canonical use is a
+    precedence row *consumption rate <= production rate*: positive
+    coefficients on the consuming stage's source outflow, ``-1`` on the
+    producing stage's delivery expression, ``<= 0``.
+    """
+
+    name: str
+    terms: Tuple[Tuple[int, str, object], ...]
+    sense: str = LE
+    rhs: object = 0
+
+
+def compose_joint_lp(name: str, stage_lps: Sequence[LinearProgram],
+                     chain_rows: Sequence[ChainRow] = ()) -> LinearProgram:
     """One LP running every stage concurrently at a common throughput.
 
     Each stage LP's variables are copied under a ``s{k}:`` prefix except
@@ -401,6 +456,11 @@ def compose_joint_lp(name: str, stage_lps: Sequence[LinearProgram]) -> LinearPro
     ``occupation - 1 <= 0`` — are summed across stages, expressing that
     the stages compete for the same ports, edges and CPU time.  Stages
     must therefore be built over the same platform.
+
+    ``chain_rows`` add cross-stage coupling (:class:`ChainRow`) on top of
+    the shared capacities — the pipelined composition's inter-stage
+    precedence/flow-balance rows.  Every row name must start with
+    :data:`CHAIN_PREFIX` and may reference variables of any stage.
     """
     joint = LinearProgram(name)
     tp = joint.var("TP")
@@ -436,6 +496,16 @@ def compose_joint_lp(name: str, stage_lps: Sequence[LinearProgram]) -> LinearPro
         expr = shared[cname]
         expr.constant = -1
         joint.add(Constraint(expr, LE), name=cname)
+    for row in chain_rows:
+        if not row.name.startswith(CHAIN_PREFIX):
+            raise ValueError(f"chain row {row.name!r} must be named with "
+                             f"the {CHAIN_PREFIX!r} prefix")
+        expr = LinExpr()
+        for k, vname, coef in row.terms:
+            joint_name = "TP" if vname == "TP" else f"s{k}:{vname}"
+            expr.add_term(joint.get(joint_name), coef)
+        expr.constant = -row.rhs
+        joint.add(Constraint(expr, row.sense), name=row.name)
     joint.maximize(tp)
     return joint
 
@@ -477,12 +547,16 @@ class CompositeSolution(CollectiveSolution):
     composite view of stage ``k``'s rate keyed ``(i, j, *rest)`` — in
     sequential mode scaled by the stage's phase fraction ``TP / TP_k``,
     so :meth:`~CollectiveSolution.edge_occupation` is the long-run
-    average and stays within the one-port budget in both modes.
+    average and stays within the one-port budget in every mode.
     ``lp_solution`` is ``None`` for sequential composites (there is no
-    single joint LP).
+    single joint LP).  ``mode`` records which composition mode produced
+    this solution (a spec can solve in several); empty means the spec's
+    default — schedule reconstruction, reporting and verification all
+    dispatch on it.
     """
 
     stage_solutions: Optional[List[CollectiveSolution]] = None
+    mode: str = ""
 
 
 class CompositeCollectiveSpec(CollectiveSpec):
@@ -491,18 +565,57 @@ class CompositeCollectiveSpec(CollectiveSpec):
     Subclasses set :attr:`mode` and implement :meth:`stages`; everything
     else — solving (joint LP or per-stage solves), extraction, verify,
     schedule (superposition or concatenation), simulation (chained stage
-    semantics), rates table and CLI — is generic.
+    semantics), rates table and CLI — is generic.  Any composite can be
+    solved in a non-default mode per call
+    (``solve_collective(problem, mode=...)``); ``"pipelined"`` behaves
+    like ``"joint"`` plus whatever :meth:`chain_constraints` /
+    :meth:`chain_links` the subclass declares (without them it degenerates
+    to a plain joint solve).
     """
 
     solution_type = CompositeSolution
-    #: ``"joint"`` (stages share one period) or ``"sequential"``
-    #: (stages are consecutive phases).
+    #: Default composition mode: ``"joint"`` (stages share one period),
+    #: ``"sequential"`` (stages are consecutive phases) or ``"pipelined"``
+    #: (one period, chained stages overlapped).
     mode: str = "joint"
     delivery_mode = "sum"  # stage streams are independent TP-rate groups
 
     def stages(self, problem) -> Sequence[Tuple[str, object]]:
         """``[(registered stage collective name, stage problem), ...]``."""
         raise NotImplementedError
+
+    def chain_constraints(self, problem,
+                          stage_lps: Sequence[LinearProgram]) -> Sequence[ChainRow]:
+        """Cross-stage coupling rows for the ``"pipelined"`` joint LP.
+
+        Override to express that a stage's commodities source from
+        another stage's sinks (e.g. all-reduce: each all-gather
+        broadcast's source outflow is bounded by the reduce-scatter
+        stage's delivery rate of that block).  Default: no coupling.
+        """
+        return ()
+
+    def chain_links(self, solution: "CompositeSolution"):
+        """Item-level precedence contracts for the pipelined schedule.
+
+        Override to return :class:`repro.core.schedule.ChainLink`
+        entries in the *composite* (stage-tagged) item namespace; the
+        schedule is retimed around them and the simulator credit-gates
+        the chained supplies.  Default: no links.
+        """
+        return ()
+
+    def _mode_of(self, solution: CollectiveSolution) -> str:
+        """The mode that produced ``solution`` (falls back to the spec
+        default for solutions predating per-solve modes)."""
+        return getattr(solution, "mode", "") or self.mode
+
+    @staticmethod
+    def _check_mode(mode: str) -> str:
+        if mode not in COMPOSITION_MODES:
+            raise ValueError(f"unknown composition mode {mode!r}; "
+                             f"expected one of {COMPOSITION_MODES}")
+        return mode
 
     def stage_specs(self, problem) -> List[Tuple["CollectiveSpec", object]]:
         """Resolved ``(stage spec, stage problem)`` pairs (memoized per
@@ -528,25 +641,33 @@ class CompositeCollectiveSpec(CollectiveSpec):
         return lps
 
     # ------------------------------------------------------- solving
-    def build_lp(self, problem) -> LinearProgram:
-        if self.mode != "joint":
+    def build_lp(self, problem, mode: Optional[str] = None) -> LinearProgram:
+        mode = self._check_mode(mode or self.mode)
+        if mode == "sequential":
             raise NotImplementedError(
                 f"{self.name} is a sequential composite: no single LP")
+        stage_lps = self._stage_lps(problem)
+        chain = self.chain_constraints(problem, stage_lps) \
+            if mode == "pipelined" else ()
         return compose_joint_lp(f"{self.name}({problem.platform.name})",
-                                self._stage_lps(problem))
+                                stage_lps, chain_rows=chain)
 
     def solve(self, problem, backend: str = "auto", eps: float = 1e-9,
-              passes=None, **solve_kwargs) -> CompositeSolution:
-        if self.mode == "joint":
+              passes=None, mode: Optional[str] = None,
+              **solve_kwargs) -> CompositeSolution:
+        mode = self._check_mode(mode or self.mode)
+        if mode in ("joint", "pipelined"):
             from repro.lp import solve as lp_solve
 
-            lp = self.build_lp(problem)
+            lp = self.build_lp(problem, mode=mode)
             sol = lp_solve(lp, backend=backend, **solve_kwargs)
             if not sol.optimal:
                 raise RuntimeError(f"LP solve failed: {sol.status}")
             tol = 0 if sol.exact else eps
             # passes stay None by default so each stage applies its own
-            return self.extract(problem, lp, sol, tol, passes)
+            out = self.extract(problem, lp, sol, tol, passes)
+            out.mode = mode
+            return out
         # sequential: each stage is an independent solve; the composed
         # steady state spends the phase fraction TP/TP_k inside stage k
         from repro.collectives.orchestrator import solve_collective
@@ -567,7 +688,8 @@ class CompositeCollectiveSpec(CollectiveSpec):
         return self.solution_type(problem=problem, throughput=tp, send=send,
                                   lp_solution=None,
                                   exact=all(s.exact for s in subs),
-                                  collective=self.name, stage_solutions=subs)
+                                  collective=self.name, stage_solutions=subs,
+                                  mode=mode)
 
     def extract(self, problem, lp: LinearProgram, sol, tol,
                 passes) -> CompositeSolution:
@@ -611,11 +733,24 @@ class CompositeCollectiveSpec(CollectiveSpec):
     # ----------------------------------------------------- invariants
     def verify(self, solution: CollectiveSolution, tol=0) -> List[str]:
         """Joint one-port check on the composite occupation (phase-scaled
-        in sequential mode) plus every stage's own invariants."""
+        in sequential mode) plus every stage's own invariants; pipelined
+        solutions additionally re-check every chain row on the cleaned
+        joint optimum."""
         bad = self._port_violations(solution, tol)
         for k, sub in enumerate(solution.stage_solutions or ()):
             for msg in sub.verify(tol=tol):
                 bad.append(f"s{k}[{sub.collective}]: {msg}")
+        if self._mode_of(solution) == "pipelined" \
+                and solution.lp_solution is not None:
+            values = getattr(solution.lp_solution, "values", None)
+            lp = getattr(solution.lp_solution, "lp", None)
+            if values is not None and lp is not None:
+                for con in lp.constraints:
+                    if not con.name.startswith(CHAIN_PREFIX):
+                        continue
+                    v = con.violation(values)
+                    if v > tol:
+                        bad.append(f"{con.name} violated by {v}")
         return bad
 
     # ------------------------------------------------------- schedule
@@ -629,16 +764,19 @@ class CompositeCollectiveSpec(CollectiveSpec):
         if not solution.exact:
             raise ValueError("schedule construction needs exact rational "
                              "rates; solve with backend='exact'")
+        mode = self._mode_of(solution)
         specs = self.stage_specs(solution.problem)
         subs = solution.stage_solutions
         name = f"{self.name}({solution.problem.platform.name})"
-        if self.mode == "joint":
+        if mode in ("joint", "pipelined"):
             bundles = [spec.rate_bundle(s).tagged(k)
                        for k, ((spec, _sub), s) in enumerate(zip(specs, subs))]
+            chain = self.chain_links(solution) if mode == "pipelined" else ()
             return superpose_schedules(bundles,
                                        throughput=solution.throughput,
                                        name=name,
-                                       delivery_mode=self.delivery_mode)
+                                       delivery_mode=self.delivery_mode,
+                                       chain=chain)
         scheds = [retag_schedule(spec.build_schedule(s), k)
                   for k, ((spec, _sub), s) in enumerate(zip(specs, subs))]
         return concatenate_schedules(scheds, name=name,
@@ -646,8 +784,10 @@ class CompositeCollectiveSpec(CollectiveSpec):
 
     def rate_bundle(self, solution: CollectiveSolution):
         """Joint composites are themselves stageable: the merged bundle of
-        their stages (items tagged), ready for further superposition."""
-        if self.mode != "joint":
+        their stages (items tagged), ready for further superposition.
+        (Pipelined bundles merge too, but their chain links don't travel
+        with the bundle — re-declare them on the outer composite.)"""
+        if self._mode_of(solution) == "sequential":
             raise NotImplementedError(
                 f"{self.name} is sequential: phases cannot merge into one "
                 "period")
@@ -686,9 +826,10 @@ class CompositeCollectiveSpec(CollectiveSpec):
         return sum(spec.ops_bound_factor(sub)
                    for spec, sub in self.stage_specs(problem))
 
-    def tp_suffix(self, problem) -> str:
+    def tp_suffix(self, problem, solution: Optional[CollectiveSolution] = None) -> str:
         names = "+".join(name for name, _sub in self.stages(problem))
-        return f" ({self.mode} composition: {names})"
+        mode = self._mode_of(solution) if solution is not None else self.mode
+        return f" ({mode} composition: {names})"
 
     def report(self, solution: CollectiveSolution) -> str:
         from repro.viz.tables import composition_table, rates_table

@@ -163,7 +163,7 @@ class BroadcastSpec(CollectiveSpec):
     def ops_bound_factor(self, problem) -> int:
         return len(problem.targets)  # one slice-stream group per target
 
-    def tp_suffix(self, problem) -> str:
+    def tp_suffix(self, problem, solution=None) -> str:
         return f" ({len(problem.targets)} targets share content)"
 
     # ------------------------------------------------------------ CLI
@@ -188,6 +188,13 @@ class BroadcastSpec(CollectiveSpec):
         if solution.exact:
             lines += [a.describe() for a in solution.arborescences()]
         return "\n".join(lines)
+
+    def conformance_problem(self, platform, hosts, rng):
+        if len(hosts) < 2:
+            return None
+        src = hosts[0]
+        return BroadcastProblem(platform, src,
+                                [h for h in hosts[1:5] if h != src])
 
 
 BROADCAST = register_collective(BroadcastSpec())

@@ -80,7 +80,7 @@ class GossipSpec(CollectiveSpec):
         return SimSemantics(supplies=supplies,
                             expected=lambda item, seq: (item, seq))
 
-    def tp_suffix(self, problem) -> str:
+    def tp_suffix(self, problem, solution=None) -> str:
         return f" ({len(problem.pairs())} message types)"
 
     def add_arguments(self, parser) -> None:
@@ -94,6 +94,11 @@ class GossipSpec(CollectiveSpec):
 
         return GossipProblem(platform, parse_nodes(args.sources),
                              parse_nodes(args.targets))
+
+    def conformance_problem(self, platform, hosts, rng):
+        if len(hosts) < 2:
+            return None
+        return GossipProblem(platform, hosts[:2], hosts[:3])
 
 
 GOSSIP = register_collective(GossipSpec())

@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # lazy: repro.core's package __init__ imports back here
 def solve_collective(problem, collective: Optional[str] = None,
                      backend: str = "auto", eps: float = 1e-9,
                      passes: Optional[Sequence["FlowPass"]] = None,
+                     mode: Optional[str] = None,
                      **solve_kwargs) -> CollectiveSolution:
     """Solve a steady-state collective end to end.
 
@@ -42,12 +43,24 @@ def solve_collective(problem, collective: Optional[str] = None,
     passes:
         Flow post-processing pipeline; defaults to the spec's
         ``default_passes()``.
+    mode:
+        Composition-mode override for composite collectives
+        (``"joint"`` / ``"sequential"`` / ``"pipelined"``); ``None``
+        keeps the spec's default.  Rejected for plain collectives.
     solve_kwargs:
         Forwarded to :func:`repro.lp.solve` (``warm_start``, ``canonical``,
         ``cache``, ...).
     """
     spec = resolve_collective(problem, collective)
     spec.validate(problem)
+    if mode is not None:
+        from repro.collectives.base import CompositeCollectiveSpec
+
+        if not isinstance(spec, CompositeCollectiveSpec):
+            raise ValueError(f"{spec.name!r} is not a composite collective; "
+                             "the mode option does not apply")
+        return spec.solve(problem, backend=backend, eps=eps, passes=passes,
+                          mode=mode, **solve_kwargs)
     return spec.solve(problem, backend=backend, eps=eps, passes=passes,
                       **solve_kwargs)
 

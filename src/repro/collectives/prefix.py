@@ -118,5 +118,11 @@ class PrefixSpec(CollectiveSpec):
         return ReduceProblem(platform, participants, participants[0],
                              msg_size=args.msg_size, task_work=args.task_work)
 
+    def conformance_problem(self, platform, hosts, rng):
+        if len(hosts) < 2:
+            return None
+        parts = hosts[:3]
+        return ReduceProblem(platform, parts, parts[0])
+
 
 PREFIX = register_collective(PrefixSpec())

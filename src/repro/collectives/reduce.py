@@ -148,6 +148,12 @@ class ReduceSpec(CollectiveSpec):
         lines.extend(t.describe() for t in trees)
         return "\n".join(lines)
 
+    def conformance_problem(self, platform, hosts, rng):
+        if len(hosts) < 2:
+            return None
+        parts = hosts[:4]
+        return ReduceProblem(platform, parts, rng.choice(parts))
+
 
 # priority makes reduce's claim on bare ReduceProblem instances explicit
 # (prefix shares the problem type but opts out of type resolution; the

@@ -176,5 +176,10 @@ class ReduceScatterSpec(CollectiveSpec):
             lines.extend(t.describe() for t in block_trees)
         return "\n".join(lines)
 
+    def conformance_problem(self, platform, hosts, rng):
+        if len(hosts) < 2:
+            return None
+        return ReduceScatterProblem(platform, hosts[:3])
+
 
 REDUCE_SCATTER = register_collective(ReduceScatterSpec())

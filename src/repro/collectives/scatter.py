@@ -110,5 +110,12 @@ class ScatterSpec(CollectiveSpec):
         return ScatterProblem(platform, parse_node(args.source),
                               parse_nodes(args.targets))
 
+    def conformance_problem(self, platform, hosts, rng):
+        if len(hosts) < 2:
+            return None
+        src = hosts[0]
+        return ScatterProblem(platform, src,
+                              [h for h in hosts[1:5] if h != src])
+
 
 SCATTER = register_collective(ScatterSpec())

@@ -13,6 +13,16 @@ reduce-scattered, so the composed throughput is the harmonic combination
 and the composed period is the two stage periods back to back — exactly
 what :class:`repro.collectives.base.CompositeCollectiveSpec` in
 ``"sequential"`` mode computes generically.
+
+The harmonic value is a *bound*, not the optimum: both phases are priced
+against the same one-port/alpha capacities, so nothing forces them to
+alternate.  ``solve_all_reduce(problem, mode="pipelined")`` instead
+solves ONE joint LP in which both phases run concurrently at a single
+common ``TP`` — the all-gather broadcasts sourcing from the
+reduce-scatter block sinks through explicit ``chain[..]`` precedence
+rows — and always satisfies ``TP_pipelined >= TP_sequential`` (the
+phase-scaled sequential point is feasible), strictly beating the
+harmonic bound whenever the phases stress different links or CPUs.
 """
 
 from __future__ import annotations
@@ -63,7 +73,12 @@ class AllReduceProblem:
 
 def solve_all_reduce(problem: AllReduceProblem, backend: str = "auto",
                      eps: float = 1e-9, **solve_kwargs):
-    """Solve both stages and compose (registry-backed wrapper)."""
+    """Solve and compose (registry-backed wrapper).
+
+    ``mode="sequential"`` (default) solves both stage LPs and composes
+    harmonically; ``mode="pipelined"`` solves the chained joint LP that
+    overlaps the phases (never below the harmonic value).
+    """
     from repro.collectives import solve_collective
 
     return solve_collective(problem, collective="all-reduce",

@@ -32,12 +32,24 @@ Section 5 discussion): when an instance of a replicated item lands at a
 node it is immediately re-materialized as the mapped items there — this is
 how one received message slice fans out to several children of a broadcast
 arborescence (and to the node's own delivery) without violating one-port.
+
+``chain_links`` extend the model for *pipelined* compositions (the joint
+all-reduce that overlaps reduce-scatter with all-gather): a
+:class:`ChainLink` declares that a group of delivery items *produces* the
+value that a group of supply items at one node *consumes*, so the
+simulator can enforce that no chained value departs before one has
+landed (:func:`repro.sim.executor.simulate_schedule` spends one credit
+per consumed operation, minted by each produced delivery).
+:func:`retime_for_chaining` additionally reorders the period's slots —
+producing slots first, consuming slots last — so in the steady state a
+chained value lands in the same period it is re-emitted, keeping the
+standing buffer at one period's worth of operations.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -78,6 +90,28 @@ class Slot:
     transfers: List[Transfer] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class ChainLink:
+    """A producer/consumer precedence contract between composition stages.
+
+    ``produced`` lists delivery items each of whose completions makes one
+    more chained operation available (mints one credit); ``consumed``
+    lists ``(supply item, operation-stream id)`` pairs drawn at
+    ``consumer`` — the first draw of a new operation index on a stream
+    spends one credit (further draws of the same index, e.g. the other
+    root edges of one broadcast arborescence, are free).  The simulator
+    refuses a supply draw with no credit, so a chained item can never
+    depart before one has landed; schedules whose production and
+    consumption rates match (a joint LP at one common ``TP`` guarantees
+    it) sustain full throughput after the pipeline fills.
+    """
+
+    label: str
+    produced: Tuple[Item, ...]
+    consumer: NodeId
+    consumed: Tuple[Tuple[Item, Hashable], ...]
+
+
 @dataclass
 class PeriodicSchedule:
     """A steady-state periodic schedule.
@@ -111,6 +145,11 @@ class PeriodicSchedule:
         TP-rate streams are summed — reduce trees, broadcast slices), or
         ``None`` for the legacy inference (``"sum"`` iff compute tasks
         exist).
+    chain_links:
+        Cross-stage precedence contracts (:class:`ChainLink`) the
+        simulator enforces: a chained supply item may only be drawn after
+        a matching delivery has landed.  Empty for non-pipelined
+        schedules.
     """
 
     name: str
@@ -122,6 +161,7 @@ class PeriodicSchedule:
     compute: Dict[NodeId, List[ComputeTask]] = field(default_factory=dict)
     replicas: Dict[Tuple[NodeId, Item], Tuple[Item, ...]] = field(default_factory=dict)
     delivery_mode: Optional[str] = None
+    chain_links: Tuple[ChainLink, ...] = ()
     # lazy one-pass caches; never compare/serialize these
     _busy_cache: Optional[Tuple[Dict[NodeId, object], Dict[NodeId, object]]] = \
         field(default=None, init=False, repr=False, compare=False)
@@ -219,7 +259,8 @@ class PeriodicSchedule:
             throughput=self.throughput, slots=slots,
             per_period={k: v * factor for k, v in self.per_period.items()},
             deliveries=dict(self.deliveries), compute=compute,
-            replicas=dict(self.replicas), delivery_mode=self.delivery_mode)
+            replicas=dict(self.replicas), delivery_mode=self.delivery_mode,
+            chain_links=self.chain_links)
 
 
 def _denominator(x) -> int:
@@ -464,6 +505,7 @@ def _merge_disjoint(dicts, what: str) -> dict:
 def superpose_schedules(bundles: Sequence[RateBundle], throughput: object,
                         name: str = "superposed",
                         delivery_mode: Optional[str] = None,
+                        chain: Sequence[ChainLink] = (),
                         **kwargs) -> PeriodicSchedule:
     """One periodic schedule for several rate bundles sharing the period.
 
@@ -475,14 +517,63 @@ def superpose_schedules(bundles: Sequence[RateBundle], throughput: object,
     :meth:`RateBundle.tagged`; reduce-scatter's per-block bundles carry the
     block id inside the item already.
 
+    ``chain`` declares cross-stage precedence (*pipelined* composition):
+    the links are recorded on the schedule for the simulator's credit
+    enforcement, and the slots are retimed via
+    :func:`retime_for_chaining` so chained items land before they depart
+    within each steady-state period.
+
     Extra keyword arguments reach :func:`schedule_from_rates`.
     """
     merged = RateBundle.merge(bundles)
-    return schedule_from_rates(merged.rates, throughput=throughput,
-                               deliveries=merged.deliveries, name=name,
-                               compute_rates=merged.compute_rates or None,
-                               replicas=merged.replicas or None,
-                               delivery_mode=delivery_mode, **kwargs)
+    sched = schedule_from_rates(merged.rates, throughput=throughput,
+                                deliveries=merged.deliveries, name=name,
+                                compute_rates=merged.compute_rates or None,
+                                replicas=merged.replicas or None,
+                                delivery_mode=delivery_mode, **kwargs)
+    if chain:
+        sched = retime_for_chaining(sched, chain)
+    return sched
+
+
+def retime_for_chaining(schedule: PeriodicSchedule,
+                        chain: Sequence[ChainLink]) -> PeriodicSchedule:
+    """Stage-offset retiming: producing slots early, consuming slots late.
+
+    Slot order within a period is free — every slot is an independent
+    matching — so reordering never changes the period, the per-port busy
+    times or the per-period message counts.  This pass stably partitions
+    the slots into three classes:
+
+    1. slots that complete a chained *production* (a transfer whose item
+       is a ``produced`` delivery of some link) and start no consumption,
+    2. neutral slots,
+    3. slots that *depart* a chained value (a transfer leaving a link's
+       ``consumer`` with a ``consumed`` item) — these run last, so by the
+       time they depart, this period's productions have already landed.
+
+    A slot that both produces and consumes is conservatively placed in
+    the consuming class; the simulator's credit gate (not this ordering)
+    is what guarantees correctness — retiming only keeps the steady-state
+    chain latency at one period instead of two.
+
+    The returned schedule carries ``chain`` in
+    :attr:`PeriodicSchedule.chain_links`.
+    """
+    produced = {it for ln in chain for it in ln.produced}
+    departs = {(ln.consumer, it) for ln in chain for (it, _stream) in ln.consumed}
+
+    def klass(slot: Slot) -> int:
+        consume = any((t.src, t.item) in departs for t in slot.transfers)
+        if consume:
+            return 2
+        produce = any(t.item in produced for t in slot.transfers)
+        return 0 if produce else 1
+
+    slots = sorted(schedule.slots, key=klass)  # stable: ties keep order
+    # dataclasses.replace so a future PeriodicSchedule field can never be
+    # silently dropped by the retiming copy
+    return replace(schedule, slots=slots, chain_links=tuple(chain))
 
 
 def concatenate_schedules(schedules: Sequence[PeriodicSchedule],

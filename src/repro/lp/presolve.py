@@ -60,6 +60,22 @@ Reductions (applied to a fixpoint, each with its postsolve inverse):
     so canonical solves of the reduced model postsolve to exactly the
     canonical vertex of the original.
 
+**Protected rows.**  Rows whose name starts with a prefix in
+:data:`PROTECTED_ROW_PREFIXES` (the ``chain[..]`` cross-stage coupling
+rows of pipelined composite LPs, see
+:data:`repro.collectives.base.CHAIN_PREFIX`) are never converted to
+bounds, collapsed into duplicates, dropped as dominated, or relaxed by a
+free-singleton elimination — they survive into the reduced model as
+explicit rows.  This extends the canonical-safe idea: the reductions
+above are individually exact, but coupling rows carry mixed-sign
+coefficients across stages and downstream consumers (composite
+``verify``, the conformance fuzz suite) re-check the postsolved solution
+against them *as rows*, so they must still exist after presolve.  Fixed
+variables are still substituted into protected rows (value-exact), and a
+protected row whose variables have all been fixed is checked for
+feasibility and then removed like any other empty row — an empty row is
+nothing but a feasibility fact.
+
 :func:`presolve` returns a :class:`PresolveResult` whose ``lp`` is a
 fresh, compact :class:`~repro.lp.model.LinearProgram` (original variable
 names and constraint names are preserved) and whose ``postsolve`` maps a
@@ -77,6 +93,12 @@ from repro.lp.model import EQ, GE, LE, Constraint, LinearProgram, LinExpr
 from repro.lp.solution import SolveStatus
 
 Number = object  # int | Fraction (floats are never produced by presolve)
+
+#: Constraint-name prefixes presolve must keep as explicit rows (see the
+#: module docstring).  ``chain[`` is the cross-stage coupling contract of
+#: :func:`repro.collectives.base.compose_joint_lp` — kept as a literal
+#: here so the LP layer stays import-free of the collectives layer.
+PROTECTED_ROW_PREFIXES = ("chain[",)
 
 
 @dataclass
@@ -185,12 +207,16 @@ class _Work:
         self.var_alive = [True] * n
         #: var -> set of alive row ids that reference it (kept exact)
         self.cols: List[set] = [set() for _ in range(n)]
+        #: rows that must survive as rows (cross-stage coupling contract)
+        self.protected: List[bool] = []
         for i, con in enumerate(lp.constraints):
             coefs = {j: _frac(c) for j, c in con.expr.coefs.items() if c}
             self.rows.append(coefs)
             self.sense.append(con.sense)
             self.rhs.append(-_frac(con.expr.constant))
-            self.rname.append(con.name or f"#c{i}")
+            name = con.name or f"#c{i}"
+            self.rname.append(name)
+            self.protected.append(name.startswith(PROTECTED_ROW_PREFIXES))
             for j in coefs:
                 self.cols[j].add(i)
         self.records: List[_Record] = []
@@ -249,6 +275,8 @@ def _pass_rows(w: _Work) -> bool:
             changed = True
             continue
         if len(row) == 1:
+            if w.protected[i]:
+                continue  # coupling rows stay rows, never become bounds
             (j, a), = row.items()
             b, s = w.rhs[i], w.sense[i]
             if s == EQ:
@@ -297,6 +325,8 @@ def _pass_cols(w: _Work, sense_max: bool, for_canonical: bool) -> bool:
             continue
         if len(live) == 1 and not for_canonical and w.obj.get(j, 0) == 0:
             i = next(iter(live))
+            if w.protected[i]:
+                continue  # never relax/drop a coupling row
             row, a, b, s = w.rows[i], w.rows[i][j], w.rhs[i], w.sense[i]
             if s == EQ and ub is None:
                 del row[j]
@@ -330,7 +360,7 @@ def _pass_duplicates(w: _Work) -> bool:
     changed = False
     groups: Dict[Tuple, List[int]] = {}
     for i, row in enumerate(w.rows):
-        if row is None or not row:
+        if row is None or not row or w.protected[i]:
             continue
         scale = row[min(row)]
         sig = tuple(sorted((j, _div(c, scale)) for j, c in row.items()))
@@ -404,7 +434,7 @@ def _pass_dominated(w: _Work) -> bool:
     """
     changed = False
     for i, row in enumerate(w.rows):
-        if row is None or not row or w.sense[i] != LE:
+        if row is None or not row or w.sense[i] != LE or w.protected[i]:
             continue
         if any(c < 0 for c in row.values()) or any(w.lb[j] < 0 for j in row):
             continue

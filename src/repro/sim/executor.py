@@ -18,10 +18,21 @@ an item received (or computed) during period ``p`` becomes usable in period
 Split messages (Figure 4a) are supported: a transfer may move a fractional
 number of messages; an instance completes its hop once cumulative shipped
 fraction reaches 1, and partially-shipped instances stay in the pipe.
+
+Pipelined compositions add **chain-credit gating**: when the schedule
+carries :class:`repro.core.schedule.ChainLink` contracts, a chained supply
+item (e.g. the all-gather sources of a pipelined all-reduce) can only
+start a new operation after a matching produced delivery (the
+reduce-scatter stage's reduced block) has landed — precedence holds *by
+construction*, the pipeline fills during warm-up, and the steady state
+sustains the joint LP's common ``TP`` only if the overlap really is
+schedulable.  Combined with the per-delivery payload checks this
+validates reduced-value correctness under overlap, not just per stage.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -121,6 +132,24 @@ def simulate_schedule(schedule: PeriodicSchedule,
     avail: Dict[Tuple[NodeId, Item], deque] = {}
     arriving: Dict[Tuple[NodeId, Item], List[Instance]] = {}
     supply_seq: Dict[Tuple[NodeId, Item], int] = {}
+    # chained-supply credit gating (pipelined compositions): a supply
+    # item listed in a ChainLink may only start a new operation once a
+    # matching produced delivery has landed — one credit per operation,
+    # spent on the first draw of each op index per consumption stream.
+    # Credits carry their mint time: a draw during a slot starting at
+    # time `s` can only spend credits minted at or before `s`, so a
+    # chained value physically lands before its re-emission departs
+    # (retimed schedules achieve the hand-off within one period).
+    links = tuple(schedule.chain_links or ())
+    credit: List[List[object]] = [[] for _ in links]  # sorted mint times
+    stream_next: List[Dict[Hashable, int]] = [{} for _ in links]
+    produced_link: Dict[Item, int] = {}
+    consumed_link: Dict[Tuple[NodeId, Item], Tuple[int, Hashable]] = {}
+    for li, ln in enumerate(links):
+        for it in ln.produced:
+            produced_link[it] = li
+        for it, stream in ln.consumed:
+            consumed_link[(ln.consumer, it)] = (li, stream)
     # per (src, dst, item): instance partially shipped and fraction done
     pipe: Dict[Tuple[NodeId, NodeId, Item], Tuple[Instance, object]] = {}
     delivery_times: Dict[Item, List[object]] = {item: [] for item in schedule.deliveries}
@@ -132,8 +161,20 @@ def simulate_schedule(schedule: PeriodicSchedule,
     # different latencies, which legally reorders distinct messages.
     strict_order = bool(schedule.compute)
 
-    def take(node: NodeId, item: Item) -> Optional[Instance]:
-        """Pop the oldest available instance (drawing from supply if any)."""
+    def _spendable(li: int, now) -> int:
+        """Index of the earliest credit already minted by ``now``; -1 if
+        none (credit lists are kept in mint order)."""
+        times = credit[li]
+        if times and times[0] <= now:
+            return 0
+        return -1
+
+    def take(node: NodeId, item: Item, now=0) -> Optional[Instance]:
+        """Pop the oldest available instance (drawing from supply if any).
+
+        ``now`` is the draw time (slot start for transfers, task start
+        for computations) — chain-gated supplies only spend credits
+        minted at or before it."""
         key = (node, item)
         q = avail.get(key)
         if q:
@@ -141,14 +182,31 @@ def simulate_schedule(schedule: PeriodicSchedule,
         factory = supplies.get(key)
         if factory is not None:
             seq = supply_seq.get(key, 0)
+            gate = consumed_link.get(key)
+            if gate is not None:
+                li, stream = gate
+                if seq >= stream_next[li].get(stream, 0):
+                    # first draw of operation `seq` on this stream: needs
+                    # a landed production (later draws of the same op —
+                    # sibling root edges of one arborescence — are free)
+                    idx = _spendable(li, now)
+                    if idx < 0:
+                        return None
+                    credit[li].pop(idx)
+                    stream_next[li][stream] = seq + 1
             supply_seq[key] = seq + 1
             return Instance(item=item, seq=seq, value=factory(seq))
         return None
 
-    def peek_count(node: NodeId, item: Item) -> bool:
+    def peek_count(node: NodeId, item: Item, now=0) -> bool:
         key = (node, item)
         if supplies.get(key) is not None:
-            return True
+            gate = consumed_link.get(key)
+            if gate is None:
+                return True
+            li, stream = gate
+            return (supply_seq.get(key, 0) < stream_next[li].get(stream, 0)
+                    or _spendable(li, now) >= 0)
         q = avail.get(key)
         return bool(q)
 
@@ -166,6 +224,10 @@ def simulate_schedule(schedule: PeriodicSchedule,
                      time)
             return
         if schedule.deliveries.get(item) == node:
+            li = produced_link.get(item)
+            if li is not None:
+                # one more chained operation available from `time` on
+                insort(credit[li], time)
             seen = delivery_seen[item]
             if inst.seq in seen:
                 errors.append(f"delivery {item!r} seq {inst.seq} duplicated")
@@ -192,6 +254,7 @@ def simulate_schedule(schedule: PeriodicSchedule,
         # --- communications: slots in order ---
         offset = 0
         for slot in schedule.slots:
+            slot_start = p0 + offset
             pair_off: Dict[Tuple[NodeId, NodeId], object] = {}
             for tr in slot.transfers:
                 if tr.units <= 0:
@@ -216,7 +279,7 @@ def simulate_schedule(schedule: PeriodicSchedule,
                     else:
                         pipe[pk] = (inst, done)
                 while budget > 0:
-                    inst = take(tr.src, tr.item)
+                    inst = take(tr.src, tr.item, now=slot_start)
                     if inst is None:
                         break
                     if budget >= 1:
@@ -247,11 +310,21 @@ def simulate_schedule(schedule: PeriodicSchedule,
             for ct in tasks:
                 for _rep in range(ct.count):
                     left_item, right_item = ct.inputs
-                    if not (peek_count(node, left_item) and
-                            peek_count(node, right_item)):
+                    task_start = p0 + cpu_off
+                    if not (peek_count(node, left_item, now=task_start) and
+                            peek_count(node, right_item, now=task_start)):
                         break  # warm-up: inputs not buffered yet
-                    left = take(node, left_item)
-                    right = take(node, right_item)
+                    left = take(node, left_item, now=task_start)
+                    if left is None:
+                        break
+                    right = take(node, right_item, now=task_start)
+                    if right is None:
+                        # two chain-gated inputs can race for one credit:
+                        # peek saw it, the left take() spent it — put the
+                        # drawn instance back and retry next period
+                        avail.setdefault((node, left_item),
+                                         deque()).appendleft(left)
+                        break
                     if left.seq != right.seq:
                         errors.append(
                             f"task at {node!r} pairing seq {left.seq} with "
@@ -318,6 +391,13 @@ def chain_semantics(stage_semantics):
     (:func:`repro.core.schedule.tag_item`).  At most one stage may carry a
     combine operator — composing two different reduction operators in one
     schedule has no defined payload algebra.
+
+    For *pipelined* composites the merged ``expected`` checks run under
+    genuine overlap: the chained stage's supplies are credit-gated by the
+    schedule's :attr:`~repro.core.schedule.PeriodicSchedule.chain_links`
+    (see :func:`simulate_schedule`), so every delivered payload that the
+    per-stage ``expected`` validates was emitted only after the producing
+    stage actually landed the corresponding value.
     """
     from repro.collectives.base import SimSemantics
     from repro.core.schedule import tag_item, untag_item

@@ -45,17 +45,19 @@ def rates_table(solution, title: str = "send rates") -> str:
 def composition_table(solution, title: str = "composition") -> str:
     """Stage breakdown of a composed collective solution.
 
-    One row per stage: its registered collective, its own throughput, and
-    the share of the steady state it occupies — the phase fraction
-    ``TP / TP_k`` for sequential composites, ``full period`` for joint
-    ones (all stages run concurrently).
+    One row per stage: its registered collective, the composition mode
+    that produced the solution, its own throughput, and the share of the
+    steady state it occupies — the phase fraction ``TP / TP_k`` for
+    sequential composites, ``full period`` for joint and pipelined ones
+    (all stages run concurrently, chained for pipelined).
     """
     spec = solution.spec
-    sequential = getattr(spec, "mode", "joint") == "sequential"
+    mode = getattr(solution, "mode", "") or getattr(spec, "mode", "joint")
+    sequential = mode == "sequential"
     rows = []
     for k, s in enumerate(solution.stage_solutions or ()):
         share = (f"{solution.throughput / s.throughput} of period"
                  if sequential else "full period")
-        rows.append((f"s{k}", s.collective, s.throughput, share))
-    return format_table(["stage", "collective", "TP", "share"], rows,
+        rows.append((f"s{k}", s.collective, mode, s.throughput, share))
+    return format_table(["stage", "collective", "mode", "TP", "share"], rows,
                         title=title)

@@ -1,0 +1,197 @@
+"""Presolve/postsolve roundtrip fuzz on composite LPs with cross-stage
+coupling (``chain[..]``) rows.
+
+Pipelined composites add coupling rows with mixed-sign coefficients
+across stage variable blocks — exactly the shape the presolve reductions
+were never exercised on before PR 5.  Two layers of defense:
+
+- **Fuzz**: seeded random joint models (real stage builders on random
+  platforms, composed by ``compose_joint_lp`` with randomized chain
+  rows).  For each model the presolved-and-postsolved optimum must
+  satisfy *every original row exactly* (``check_feasible`` at tol=0) and
+  reproduce the no-presolve objective bit for bit.
+- **Guard regression pins**: crafted minimal models where an unprotected
+  reduction (singleton-row-to-bound, duplicate collapse, dominated drop,
+  free-column-singleton elimination) *would* have removed the coupling
+  row; the ``PROTECTED_ROW_PREFIXES`` guard must keep it as an explicit
+  row in the reduced model.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.collectives import ChainRow, compose_joint_lp, get_collective
+from repro.core.broadcast import BroadcastProblem
+from repro.core.scatter import ScatterProblem
+from repro.lp import LinearProgram
+from repro.lp.exact_simplex import ExactSimplexSolver
+from repro.lp.model import LE
+from repro.lp.presolve import PROTECTED_ROW_PREFIXES, presolve
+from repro.platform.generators import heterogenize, random_connected
+
+SEED = 20260728
+
+
+def _random_joint_model(rng: random.Random) -> LinearProgram:
+    """A joint composite LP over a random platform with random chain rows."""
+    n = rng.randint(3, 5)
+    g = random_connected(n, extra_edges=rng.randint(0, 2),
+                         seed=rng.randrange(10_000))
+    if rng.random() < 0.5:
+        g = heterogenize(g, seed=rng.randrange(10_000),
+                         cost_choices=(1, 2), speed_choices=(1,))
+    nodes = g.nodes()
+    stages = []
+    for _k in range(rng.randint(2, 3)):
+        src = rng.choice(nodes)
+        targets = [p for p in nodes if p != src][:rng.randint(1, 2)]
+        if rng.random() < 0.5:
+            spec = get_collective("scatter")
+            stages.append(spec.build_lp(ScatterProblem(g, src, targets)))
+        else:
+            spec = get_collective("broadcast")
+            stages.append(spec.build_lp(BroadcastProblem(g, src, targets)))
+
+    # random coupling rows over existing stage variables; rhs >= 0 with
+    # sense <= keeps the all-zero point feasible, so the joint LP always
+    # has an optimum to roundtrip
+    chain = []
+    for c in range(rng.randint(1, 4)):
+        terms = []
+        for _t in range(rng.randint(1, 4)):
+            k = rng.randrange(len(stages))
+            var = rng.choice(stages[k].variables)
+            coef = rng.choice([1, -1, 2, Fraction(1, 2), -Fraction(1, 3)])
+            terms.append((k, var.name, coef))
+        chain.append(ChainRow(name=f"chain[f{c}]", terms=tuple(terms),
+                              sense=LE, rhs=rng.choice([0, 0, 1])))
+    return compose_joint_lp("fuzz", stages, chain_rows=chain)
+
+
+@pytest.mark.parametrize("case", range(30))
+def test_roundtrip_satisfies_every_original_row_exactly(case):
+    rng = random.Random(SEED + case)
+    lp = _random_joint_model(rng)
+    chain_names = {c.name for c in lp.constraints
+                   if c.name.startswith("chain[")}
+    assert chain_names
+
+    pr = presolve(lp)
+    assert not pr.infeasible  # the zero point is always feasible
+    kept = {c.name for c in pr.lp.constraints if c.name.startswith("chain[")}
+    # the guard: every coupling row survives into the reduced model
+    # (unless it lost all its variables to exact fixings — then it is a
+    # checked-feasible empty row and may go)
+    alive = {c.name for c in lp.constraints
+             if c.name in chain_names and any(
+                 pr.lp.get(v.name) is not None
+                 for v in c.expr.variables()
+                 if _has(pr.lp, v.name))}
+    assert alive <= kept
+
+    sol = ExactSimplexSolver().solve(pr.lp)
+    assert sol.optimal
+    values = pr.postsolve.values(sol.values)
+    # every original row — capacities, conservation, throughput AND the
+    # coupling rows — holds exactly on the postsolved point
+    assert lp.check_feasible(values, tol=0) == []
+    # and the optimum is bit-identical to the no-presolve solve
+    direct = ExactSimplexSolver().solve(lp)
+    assert direct.optimal
+    assert lp.objective.evaluate(values) == direct.objective
+
+
+def _has(lp, name):
+    try:
+        return lp.get(name)
+    except KeyError:
+        return None
+
+
+def _chain_rows_of(lp):
+    return [c.name for c in lp.constraints if c.name.startswith("chain[")]
+
+
+class TestGuardRegressionPins:
+    """Each pin builds the minimal model where exactly one unprotected
+    reduction used to fire; the protected prefix must suppress it."""
+
+    def test_prefix_constant_matches_composition_contract(self):
+        from repro.collectives.base import CHAIN_PREFIX
+
+        assert CHAIN_PREFIX in PROTECTED_ROW_PREFIXES
+
+    def test_singleton_chain_row_stays_a_row(self):
+        lp = LinearProgram("pin")
+        x = lp.var("x")
+        lp.add(x <= Fraction(1, 2), name="chain[x]")  # singleton row
+        lp.maximize(x)
+        pr = presolve(lp)
+        assert _chain_rows_of(pr.lp) == ["chain[x]"]
+        # an identical unprotected row becomes a bound and vanishes
+        lp2 = LinearProgram("pin2")
+        y = lp2.var("y")
+        lp2.add(y <= Fraction(1, 2), name="row[y]")
+        lp2.maximize(y)
+        assert presolve(lp2).lp.num_constraints() == 0
+
+    def test_duplicate_of_a_chain_row_keeps_the_chain_row(self):
+        lp = LinearProgram("pin")
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x + y <= 1, name="chain[xy]")
+        lp.add(x + y <= 1, name="cap")
+        lp.add(x + y <= 2, name="cap2")
+        lp.maximize(x + y)
+        pr = presolve(lp)
+        names = [c.name for c in pr.lp.constraints]
+        assert "chain[xy]" in names
+        # the unprotected duplicates still collapse among themselves
+        assert names.count("cap2") == 0
+
+    def test_dominated_chain_row_is_not_dropped(self):
+        lp = LinearProgram("pin")
+        x, y = lp.var("x"), lp.var("y")
+        lp.add(x + y <= 2, name="chain[weak]")   # dominated by out[0]
+        lp.add(2 * x + 2 * y <= 1, name="out[0]")
+        lp.maximize(x + y)
+        pr = presolve(lp)
+        assert _chain_rows_of(pr.lp) == ["chain[weak]"]
+
+    def test_free_singleton_in_chain_row_is_not_eliminated(self):
+        lp = LinearProgram("pin")
+        x = lp.var("x")       # appears only in the chain row, zero cost
+        y = lp.var("y", ub=1)
+        lp.add(y - x <= 0, name="chain[c]")  # a<0, ub=None: droppable shape
+        lp.maximize(y)
+        pr = presolve(lp)
+        assert _chain_rows_of(pr.lp) == ["chain[c]"]
+        assert _has(pr.lp, "x") is not None
+
+    def test_fixed_vars_still_substitute_into_chain_rows(self):
+        """Protection keeps the ROW, not stale variables: exact value
+        substitutions apply and an all-fixed chain row may disappear as a
+        verified-feasible empty row."""
+        lp = LinearProgram("pin")
+        x = lp.var("x", lb=Fraction(1, 3), ub=Fraction(1, 3))
+        y = lp.var("y", ub=1)
+        lp.add(y + x <= 1, name="chain[c]")
+        lp.maximize(y)
+        pr = presolve(lp)
+        assert _chain_rows_of(pr.lp) == ["chain[c]"]
+        con = next(c for c in pr.lp.constraints if c.name == "chain[c]")
+        # x substituted at 1/3: row is now y <= 2/3
+        assert sorted(v.name for v in con.expr.variables()) == ["y"]
+        sol = ExactSimplexSolver().solve(pr.lp)
+        values = pr.postsolve.values(sol.values)
+        assert lp.check_feasible(values, tol=0) == []
+        assert lp.objective.evaluate(values) == Fraction(2, 3)
+
+    def test_infeasible_chain_row_is_still_detected(self):
+        lp = LinearProgram("pin")
+        x = lp.var("x", lb=1, ub=1)
+        lp.add(x <= Fraction(1, 2), name="chain[c]")  # 1 <= 1/2: infeasible
+        lp.maximize(x)
+        pr = presolve(lp)
+        assert pr.infeasible

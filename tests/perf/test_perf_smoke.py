@@ -92,6 +92,32 @@ def test_exact_pipeline_within_2x_of_baseline(case):
 
 
 @pytest.mark.perf_smoke
+def test_pipelined_allreduce_tier_within_2x_of_baseline():
+    """PR 5 workload rung: the fig6 pipelined all-reduce end to end
+    (chained joint LP build, presolve, simplex, per-stage extraction)
+    must stay within 2x of the committed composite baseline — and its
+    throughput pinned at 1/4, strictly above the harmonic 1/5."""
+    if not BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR3.json baseline; run benchmarks/perf_report.py")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    entry = baseline["composite_cases"].get("fig6_allreduce_pipelined")
+    if entry is None:
+        pytest.skip("baseline predates the fig6_allreduce_pipelined tier")
+
+    solve = perf_report._composite_cases()["fig6_allreduce_pipelined"]
+    t0 = time.perf_counter()
+    sol = solve()
+    elapsed = time.perf_counter() - t0
+
+    assert sol.throughput == Fraction(1, 4)
+    assert sol.mode == "pipelined"
+    budget = (2.0 * entry["solve_s"] + NOISE_CUSHION_S) * _budget_factor()
+    assert elapsed <= budget, (
+        f"fig6_allreduce_pipelined regressed: {elapsed:.3f}s vs baseline "
+        f"{entry['solve_s']:.3f}s (budget {budget:.3f}s)")
+
+
+@pytest.mark.perf_smoke
 def test_committed_fig9_baseline_holds_the_2x_acceptance_bar():
     """The PR 3 record must stay ≥2× under the frozen PR 1 record."""
     if not (BASELINE_PATH.exists() and PR1_PATH.exists()):

@@ -1,0 +1,170 @@
+"""Property tests for the schedule algebra: superposition, concatenation
+and the pipelined retiming path on randomized rate bundles.
+
+Invariants under test:
+
+- **Superposition**: the merged schedule's period makes every rate
+  integral (lcm rescale), per-port busy time equals the sum of the
+  bundles' ``rate * unit_time * T`` loads exactly, and item collisions
+  across bundles are rejected rather than silently merged.
+- **Concatenation**: the super-period is the sum of the rescaled stage
+  periods (lcm of the per-period op counts) and the throughput is the
+  harmonic composition.
+- **Retiming** (:func:`repro.core.schedule.retime_for_chaining`): a pure
+  slot permutation — period, per-period counts, per-port busy times and
+  the multiset of slots are all preserved, ``validate()`` stays clean,
+  and the class ordering (produce-only slots before chained departures)
+  holds.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedule import (
+    ChainLink,
+    RateBundle,
+    concatenate_schedules,
+    retag_schedule,
+    retime_for_chaining,
+    schedule_from_rates,
+    superpose_schedules,
+)
+
+NODES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def rate_bundles(draw, stage: int, max_edges: int = 4):
+    """A feasible random bundle: rates scaled so every port load < 1."""
+    n_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    entries = {}
+    for e in range(n_edges):
+        src = draw(st.sampled_from(NODES))
+        dst = draw(st.sampled_from([n for n in NODES if n != src]))
+        num = draw(st.integers(min_value=1, max_value=4))
+        den = draw(st.sampled_from([2, 3, 4, 6]))
+        unit = draw(st.sampled_from([1, 2, Fraction(1, 2)]))
+        entries[(src, dst, ("it", stage, e))] = (Fraction(num, den), unit)
+    # normalize: divide every rate by (2 * worst port load) so the union
+    # of several bundles still fits the one-port budget
+    load = {}
+    for (i, j, _it), (r, u) in entries.items():
+        load[i] = load.get(i, 0) + r * u
+        load[j] = load.get(j, 0) + r * u
+    scale = Fraction(1, 2) / max(load.values())
+    rates = {k: (r * scale, u) for k, (r, u) in entries.items()}
+    deliveries = {it: j for (_i, j, it) in rates}
+    return RateBundle(rates=rates, deliveries=deliveries)
+
+
+def _port_busy_from_rates(rates, T):
+    snd, rcv = {}, {}
+    for (i, j, _it), (r, u) in rates.items():
+        snd[i] = snd.get(i, 0) + r * u * T
+        rcv[j] = rcv.get(j, 0) + r * u * T
+    return snd, rcv
+
+
+class TestSuperposeProperties:
+    @given(rate_bundles(stage=0), rate_bundles(stage=1))
+    @settings(max_examples=25, deadline=None)
+    def test_period_rescale_and_busy_time_conservation(self, b0, b1):
+        tp = Fraction(1, 2)
+        sched = superpose_schedules([b0, b1], throughput=tp)
+        assert sched.validate() == []
+        merged = dict(b0.rates)
+        merged.update(b1.rates)
+        # lcm rescale: every per-period count is a positive integer
+        for (i, j, it), (r, _u) in merged.items():
+            n = r * sched.period
+            assert n == int(n) and n >= 1
+        # busy-time conservation: schedule port busy == sum of rate loads
+        snd, rcv = _port_busy_from_rates(merged, sched.period)
+        for node in NODES:
+            s, r = sched.busy_time(node)
+            assert s == snd.get(node, 0)
+            assert r == rcv.get(node, 0)
+
+    @given(rate_bundles(stage=0))
+    @settings(max_examples=10, deadline=None)
+    def test_item_collisions_are_rejected(self, b0):
+        with pytest.raises(ValueError, match="duplicate"):
+            superpose_schedules([b0, b0], throughput=1)
+
+    @given(rate_bundles(stage=0), rate_bundles(stage=1))
+    @settings(max_examples=15, deadline=None)
+    def test_tagged_bundles_never_collide(self, b0, b1):
+        sched = superpose_schedules([b0.tagged(0), b1.tagged(1)],
+                                    throughput=Fraction(1, 2))
+        assert sched.validate() == []
+
+
+class TestConcatenateProperties:
+    @given(rate_bundles(stage=0), rate_bundles(stage=1))
+    @settings(max_examples=20, deadline=None)
+    def test_period_is_lcm_rescaled_sum_and_throughput_harmonic(self, b0, b1):
+        tps = [Fraction(1, 3), Fraction(1, 4)]
+        scheds = []
+        for k, (b, tp) in enumerate(zip([b0, b1], tps)):
+            s = schedule_from_rates(b.rates, throughput=tp,
+                                    deliveries=b.deliveries, name=f"s{k}")
+            scheds.append(retag_schedule(s, k))
+        seq = concatenate_schedules(scheds)
+        assert seq.validate() == []
+        ops = [s.throughput * s.period for s in scheds]
+        n_ops = seq.throughput * seq.period
+        assert n_ops == int(n_ops)
+        assert seq.period == sum((n_ops / o) * s.period
+                                 for o, s in zip(ops, scheds))
+        assert seq.throughput == 1 / (1 / tps[0] + 1 / tps[1])
+        # per-port busy conserved across the chaining
+        for node in NODES:
+            assert seq.busy_time(node) == tuple(
+                sum(x) for x in zip(*[
+                    tuple(v * (n_ops / o) for v in s.busy_time(node))
+                    for o, s in zip(ops, scheds)]))
+
+
+class TestRetimingProperties:
+    @given(rate_bundles(stage=0), rate_bundles(stage=1),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_retiming_is_a_pure_slot_permutation(self, b0, b1, rng):
+        tp = Fraction(1, 2)
+        base = superpose_schedules([b0, b1], throughput=tp)
+        # chain a random produced delivery to a random consumed departure
+        produced = rng.choice(sorted(b0.deliveries, key=str))
+        (ci, _cj, citem) = rng.choice(sorted(b1.rates, key=str))
+        link = ChainLink(label="ln", produced=(produced,), consumer=ci,
+                         consumed=((citem, "s"),))
+        ret = retime_for_chaining(base, (link,))
+        assert ret.chain_links == (link,)
+        assert ret.period == base.period
+        assert ret.per_period == base.per_period
+        assert ret.deliveries == base.deliveries
+        assert ret.validate() == []
+        # the slot multiset is untouched (permutation only)
+        key = lambda s: (str(s.duration),  # noqa: E731
+                         tuple(sorted((str(t.src), str(t.dst), str(t.item),
+                                       str(t.units)) for t in s.transfers)))
+        assert sorted(map(key, ret.slots)) == sorted(map(key, base.slots))
+        # per-port busy times conserved
+        for node in NODES:
+            assert ret.busy_time(node) == base.busy_time(node)
+        # class ordering: produce-only slots precede chained departures
+        def klass(slot):
+            if any((t.src, t.item) == (ci, citem) for t in slot.transfers):
+                return 2
+            return 0 if any(t.item == produced for t in slot.transfers) else 1
+        ks = [klass(s) for s in ret.slots]
+        assert ks == sorted(ks)
+
+    @given(rate_bundles(stage=0))
+    @settings(max_examples=10, deadline=None)
+    def test_retiming_without_links_is_identity_modulo_field(self, b0):
+        base = superpose_schedules([b0], throughput=Fraction(1, 2))
+        ret = retime_for_chaining(base, ())
+        assert ret.slots == base.slots
+        assert ret.chain_links == ()
