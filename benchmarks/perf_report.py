@@ -51,6 +51,7 @@ from repro.platform.generators import complete, ring
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 PR1_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+REPLAN_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 
 #: PR 1-solver timings for cases that did not exist in ``BENCH_PR1.json``,
 #: measured once on the machine that produced the committed baseline.
@@ -161,6 +162,107 @@ def _composite_cases() -> Dict[str, Callable[[], object]]:
         "complete5_allreduce": complete5_allreduce,
         "fig6_allreduce_pipelined": fig6_allreduce_pipelined,
     }
+
+
+def _replan_cases() -> Dict[str, Callable[[], tuple]]:
+    """name -> () -> (solved collective, perturbation events).
+
+    The PR 6 degraded-planning tiers: each case is a solved collective
+    plus the events to replan around.  The paper-figure instances are
+    millisecond-scale (the warm crash costs about a cold solve there —
+    see ``WARM_BASIS_MIN_LABELS``); ``x20_scatter_slow`` is the tier
+    where the basis is large enough for the warm path to win outright,
+    and the one the perf smoke guard holds to the <0.5x acceptance bar.
+    """
+    from fractions import Fraction
+
+    from repro.collectives import solve_collective
+    from repro.core.allreduce import AllReduceProblem
+    from repro.platform.generators import heterogenize, random_connected
+    from repro.platform.perturb import LinkDegradation, LinkFailure
+
+    def fig9_scatter():
+        g = figure9_platform()
+        src = figure9_target()
+        targets = [p for p in figure9_participants() if p != src]
+        return solve_collective(ScatterProblem(g, src, targets),
+                                backend="exact", cache=False)
+
+    def fig6_allreduce():
+        problem = AllReduceProblem(figure6_platform(), [0, 1, 2],
+                                   task_work=2)
+        return solve_collective(problem, collective="all-reduce",
+                                backend="exact", cache=False,
+                                mode="pipelined")
+
+    def x20_scatter():
+        g = heterogenize(random_connected(20, extra_edges=24, seed=5), 9)
+        nodes = g.compute_nodes()
+        return solve_collective(ScatterProblem(g, nodes[0], nodes[1:]),
+                                backend="exact", cache=False)
+
+    return {
+        "fig9_scatter_slow": lambda: (fig9_scatter(),
+                                      (LinkDegradation(2, 8, factor=2),)),
+        "fig9_scatter_fail": lambda: (fig9_scatter(), (LinkFailure(2, 8),)),
+        "fig6_allreduce_pipelined_slow":
+            lambda: (fig6_allreduce(),
+                     (LinkDegradation(1, 2, factor=2),)),
+        "x20_scatter_slow": lambda: (x20_scatter(),
+                                     (LinkDegradation(*_x20_edge(),
+                                                      factor=Fraction(2)),)),
+    }
+
+
+def _x20_edge():
+    from repro.platform.generators import heterogenize, random_connected
+
+    g = heterogenize(random_connected(20, extra_edges=24, seed=5), 9)
+    e = next(iter(g.edges()))
+    return e.src, e.dst
+
+
+def bench_replan(name: str, case: Callable[[], tuple]) -> Dict[str, object]:
+    """Time one warm incremental re-solve against its cold twin."""
+    from repro.lp.resolve import replan
+
+    sol, events = case()
+    report = replan(sol, events, compare=True)
+    assert report.throughput == report.cold_solution.throughput, \
+        f"{name}: warm and cold replan disagree"
+    return {
+        "events": report.delta.describe(),
+        "warm": report.warm,
+        "replan_s": round(report.replan_s, 5),
+        "cold_s": round(report.cold_s, 5),
+        "speedup_x": round(report.speedup, 2),
+        "tp_before": str(report.base_throughput),
+        "tp_after": str(report.throughput),
+    }
+
+
+def run_replan() -> Dict[str, object]:
+    cases = {name: bench_replan(name, case)
+             for name, case in _replan_cases().items()}
+    return {
+        "meta": {
+            "pr": 6,
+            "description": "warm-started incremental re-solve after a "
+                           "platform perturbation (repro.lp.resolve.replan, "
+                           "compare=True) vs a cold solve of the same "
+                           "perturbed problem; both exact, bit-identical "
+                           "optima asserted",
+            "python": _platform.python_version(),
+            "machine": _platform.machine(),
+        },
+        "replan_cases": cases,
+    }
+
+
+def write_replan_report(path: Path = REPLAN_PATH) -> Dict[str, object]:
+    report = run_replan()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
 
 
 def _time(fn: Callable[[], object]) -> float:
@@ -285,7 +387,19 @@ def write_report(path: Path = REPORT_PATH,
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", type=Path, default=REPORT_PATH)
+    ap.add_argument("--replan", action="store_true",
+                    help="benchmark the PR 6 warm-replan tiers and write "
+                         "BENCH_PR6.json (leaves BENCH_PR3.json untouched)")
     args = ap.parse_args()
+    if args.replan:
+        report = write_replan_report()
+        for name, c in report["replan_cases"].items():
+            path = "warm" if c["warm"] else "cold"
+            print(f"{name:>28}: {path}  replan {c['replan_s']:>8}s  "
+                  f"cold {c['cold_s']:>8}s  ({c['speedup_x']}x)  "
+                  f"TP {c['tp_before']} -> {c['tp_after']}")
+        print(f"wrote {REPLAN_PATH}")
+        return
     report = write_report(args.out)
     for name, c in report["cases"].items():
         before = c.get("before_exact_solve_s", "-")

@@ -17,6 +17,9 @@ so adding a collective automatically adds its CLI.  Examples::
     repro demo fig9
     repro demo reduce-scatter
     repro demo all-reduce    # the composition layer end-to-end
+    repro perturb --platform plat.json --events fail:p0:p1
+    repro scatter --platform plat.json --source Ps --targets P0,P1 \\
+        --simulate --faults 4:fail:P0:P1   # mid-run failure + replan
     repro cache info         # inspect the persistent LP solve cache
 """
 
@@ -75,6 +78,17 @@ def _add_solve_subcommand(sub, spec) -> None:
                         help="build and display the periodic schedule")
         sp.add_argument("--simulate", action="store_true")
         sp.add_argument("--periods", type=int, default=50)
+        sp.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject faults while simulating: comma-"
+                             "separated PERIOD:EVENT entries, e.g. "
+                             "'4:fail:p0:p1,6:down:p2' (implies --simulate; "
+                             "the schedule is re-solved and swapped in "
+                             "mid-run)")
+    sp.add_argument("--on-infeasible", default=None,
+                    choices=["error", "degrade"],
+                    help="what to do when the platform cannot serve the "
+                         "full collective: 'degrade' shrinks to the "
+                         "surviving reachable set")
     sp.set_defaults(func=lambda args, spec=spec: _cmd_solve(spec, args))
 
 
@@ -83,12 +97,18 @@ def _cmd_solve(spec, args) -> int:
     problem = spec.problem_from_args(g, args)
     sol = solve_collective(problem, collective=spec.name,
                            backend=args.backend,
-                           mode=getattr(args, "mode", None))
+                           mode=getattr(args, "mode", None),
+                           on_infeasible=args.on_infeasible)
     print(f"platform {g.name}: TP = {sol.throughput}"
           f"{spec.tp_suffix(problem, sol)}")
+    if sol.sacrificed:
+        print(f"degraded: sacrificed {', '.join(map(str, sol.sacrificed))}")
     body = spec.report(sol)
     if body:
         print(body)
+    faults = getattr(args, "faults", None)
+    if faults is not None and spec.has_schedule and sol.exact:
+        return _run_faulted(spec, sol, args)
     if spec.has_schedule and sol.exact and args.schedule:
         sched = schedule_collective(sol)
         print(ascii_gantt(sched))
@@ -100,6 +120,29 @@ def _cmd_solve(spec, args) -> int:
             print(f"simulated {res.completed_ops()} ops over {res.horizon} "
                   f"time-units (bound {bound:.1f}); "
                   f"correct={res.correct}")
+    return 0
+
+
+def _run_faulted(spec, sol, args) -> int:
+    from repro.sim.faults import (FaultPlan, run_with_faults,
+                                  steady_window_throughput)
+    from repro.viz.tables import degradation_table
+
+    plan = FaultPlan.from_spec(args.faults)
+    run = run_with_faults(sol, plan, args.periods, backend=args.backend,
+                          on_infeasible=args.on_infeasible or "degrade",
+                          compare=True)
+    print(f"injected: {plan.describe()}")
+    if not run.replanned:
+        print("no replan was triggered (faults beyond the horizon, or "
+              "nothing broke)")
+        return 0
+    for rep in run.reports:
+        print(degradation_table(rep, run=run))
+    res = run.result
+    print(f"simulated {res.periods} periods; correct={res.correct}; "
+          f"steady TP after replan = {steady_window_throughput(run)} "
+          f"(LP optimum {run.reports[-1].throughput})")
     return 0
 
 
@@ -188,6 +231,40 @@ def _cmd_demo(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# platform perturbation inspection
+# ----------------------------------------------------------------------
+
+def _cmd_perturb(args) -> int:
+    from repro.platform.perturb import failure_trace, parse_events, perturb
+
+    g = load_platform(args.platform)
+    if args.events:
+        events = parse_events(args.events)
+    elif args.trace:
+        events = failure_trace(g, args.seed, n_events=args.trace)
+    else:
+        print("need --events or --trace N", file=sys.stderr)
+        return 2
+    g2, delta = perturb(g, events)
+    print(f"{g.name}: {len(g.nodes())} nodes, "
+          f"{sum(1 for _ in g.edges())} links")
+    print(f"events: {delta.describe()}")
+    print(f"perturbed: {g2.name}: {len(g2.nodes())} nodes, "
+          f"{sum(1 for _ in g2.edges())} links "
+          f"({'tightening' if delta.tightened else 'loosening'}, "
+          f"fingerprint {delta.fingerprint})")
+    if delta.row_edits:
+        print("LP row edits (incremental re-solve path):")
+        for ed in delta.row_edits:
+            what = (f"scale x{ed.factor}" if ed.kind == "scale" else ed.kind)
+            print(f"  {ed.row:<24} {what}")
+    else:
+        print("LP row edits: none expressible -- full rebuild required "
+              "(node-level event)")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # persistent LP cache management
 # ----------------------------------------------------------------------
 
@@ -231,6 +308,19 @@ def build_parser() -> argparse.ArgumentParser:
     dm = sub.add_parser("demo", help="run a paper-figure demo")
     dm.add_argument("which", choices=DEMOS)
     dm.set_defaults(func=_cmd_demo)
+
+    pe = sub.add_parser("perturb",
+                        help="apply perturbation events to a platform and "
+                             "show the exact LP row-edit delta")
+    pe.add_argument("--platform", required=True, help="platform JSON file")
+    pe.add_argument("--events", default=None,
+                    help="comma-separated events: fail:SRC:DST, "
+                         "slow:SRC:DST:FACTOR, down:NODE")
+    pe.add_argument("--trace", type=int, default=0, metavar="N",
+                    help="draw N seeded failure-trace events instead")
+    pe.add_argument("--seed", type=int, default=0,
+                    help="failure-trace seed (with --trace)")
+    pe.set_defaults(func=_cmd_perturb)
 
     ca = sub.add_parser("cache", help="inspect/clear the persistent LP "
                                       "solve cache")

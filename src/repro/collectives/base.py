@@ -96,6 +96,10 @@ class CollectiveSolution:
     cons: Optional[Dict[tuple, object]] = None
     trees: Optional[object] = None
     collective: str = ""
+    #: Nodes dropped by the graceful-degradation policy before solving
+    #: (``solve_collective(..., on_infeasible="degrade")``); empty for a
+    #: full-strength solve.
+    sacrificed: Tuple[NodeId, ...] = ()
 
     @property
     def spec(self) -> "CollectiveSpec":

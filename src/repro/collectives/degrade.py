@@ -1,0 +1,142 @@
+"""Graceful degradation: shrink a collective to the surviving node set.
+
+When a platform perturbation removes nodes or disconnects part of the
+graph, the original problem may be unsolvable — a scatter target that no
+longer exists, an all-gather participant cut off from the rest.  Rather
+than failing, :func:`degrade_problem` rebuilds the *largest still-valid
+instance* of the same collective on the perturbed platform and reports
+exactly what was sacrificed, so callers (``solve_collective(...,
+on_infeasible="degrade")``, :func:`repro.lp.resolve.replan`) can trade
+coverage for liveness explicitly.
+
+The shrink rule is reachability-based and deterministic:
+
+- the *root* of a rooted collective (scatter/broadcast ``source``,
+  reduce ``target``) must survive — losing it is not degradable;
+- ``targets`` keep only surviving nodes reachable from the source (for
+  gossip: reachable from every surviving source);
+- ``participants`` of a rooted reduce keep only nodes that can still
+  reach the target; root-less all-to-all collectives keep the
+  participants mutually connected with the first survivor (its strongly
+  connected component), so "reach everyone and be reached" still holds.
+
+Reachability pruning is a *best-effort* pre-filter: a problem that is
+still infeasible afterwards (e.g. a prefix collective whose return path
+died) raises from validation or the LP as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Hashable, List, Optional, Tuple
+
+from repro.platform.graph import PlatformGraph
+
+NodeId = Hashable
+
+
+class DegradationError(ValueError):
+    """The collective cannot be shrunk to a valid surviving instance."""
+
+
+def degrade_problem(problem, platform: Optional[PlatformGraph] = None,
+                    policy: str = "degrade"):
+    """Rebuild ``problem`` on ``platform`` over the surviving node set.
+
+    Parameters
+    ----------
+    problem:
+        Any registered collective problem (frozen dataclass with a
+        ``platform`` field plus ``source``/``target``/``targets``/
+        ``sources``/``participants`` as applicable).
+    platform:
+        The (perturbed) platform to rebuild on; defaults to the
+        problem's own platform (useful to re-check an existing instance).
+    policy:
+        ``"degrade"`` — shrink and report; ``"error"`` — raise
+        :class:`DegradationError` if *anything* would be sacrificed.
+
+    Returns ``(new_problem, sacrificed)`` where ``sacrificed`` is the
+    tuple of dropped node ids (empty when the collective survives
+    whole).  Raises :class:`DegradationError` when no valid instance
+    remains (dead root, no surviving target, ...).
+    """
+    if policy not in ("degrade", "error"):
+        raise ValueError(f"unknown degradation policy {policy!r}")
+    g = platform if platform is not None else problem.platform
+    sacrificed: List[NodeId] = []
+    changes = {"platform": g}
+
+    source = getattr(problem, "source", None)
+    target = getattr(problem, "target", None)
+    root = source if source is not None else target
+    if root is not None and root not in g:
+        raise DegradationError(
+            f"root node {root!r} did not survive the perturbation; "
+            f"the collective cannot degrade around a lost root")
+
+    sources = getattr(problem, "sources", None)
+    if sources is not None:
+        keep_sources = [s for s in sources if s in g]
+        if not keep_sources:
+            raise DegradationError("no gossip source survives")
+        if len(keep_sources) != len(sources):
+            sacrificed.extend(s for s in sources if s not in g)
+            changes["sources"] = keep_sources
+
+    targets = getattr(problem, "targets", None)
+    if targets is not None:
+        if source is not None:
+            reach = g.reachable_from(source)
+        elif sources is not None:
+            reach = None
+            for s in changes.get("sources", sources):
+                r = g.reachable_from(s)
+                reach = r if reach is None else reach & r
+            reach = reach or set()
+        else:
+            reach = set(g.nodes())
+        keep = [t for t in targets if t in g and t in reach]
+        lost = [t for t in targets if t not in keep]
+        if lost:
+            if not keep:
+                raise DegradationError("no target survives the perturbation")
+            sacrificed.extend(lost)
+            changes["targets"] = keep
+
+    participants = getattr(problem, "participants", None)
+    if participants is not None:
+        alive = [p for p in participants if p in g]
+        if not alive:
+            raise DegradationError("no participant survives the perturbation")
+        if target is not None:
+            # rooted reduce/prefix: a participant must still reach the root
+            up = g.reversed().reachable_from(target)
+            keep = [p for p in alive if p in up]
+        else:
+            # all-to-all: survivors must reach each other both ways; keep
+            # the first survivor's strongly connected component
+            anchor = alive[0]
+            down = g.reachable_from(anchor)
+            up = g.reversed().reachable_from(anchor)
+            keep = [p for p in alive if p in down and p in up]
+        lost = [p for p in participants if p not in keep]
+        if lost:
+            if not keep:
+                raise DegradationError(
+                    "no participant survives the perturbation")
+            sacrificed.extend(lost)
+            changes["participants"] = keep
+
+    try:
+        new_problem = dc_replace(problem, **changes)
+    except (TypeError, ValueError) as exc:
+        raise DegradationError(
+            f"surviving instance is not a valid {type(problem).__name__}: "
+            f"{exc}") from exc
+    sacrificed_t: Tuple[NodeId, ...] = tuple(sacrificed)
+    if policy == "error" and sacrificed_t:
+        raise DegradationError(
+            f"perturbation would sacrifice {sacrificed_t!r} "
+            f"(pass on_infeasible='degrade' to accept the shrunk collective)")
+    return new_problem, sacrificed_t

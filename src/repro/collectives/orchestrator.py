@@ -25,6 +25,7 @@ def solve_collective(problem, collective: Optional[str] = None,
                      backend: str = "auto", eps: float = 1e-9,
                      passes: Optional[Sequence["FlowPass"]] = None,
                      mode: Optional[str] = None,
+                     on_infeasible: Optional[str] = None,
                      **solve_kwargs) -> CollectiveSolution:
     """Solve a steady-state collective end to end.
 
@@ -47,10 +48,23 @@ def solve_collective(problem, collective: Optional[str] = None,
         Composition-mode override for composite collectives
         (``"joint"`` / ``"sequential"`` / ``"pipelined"``); ``None``
         keeps the spec's default.  Rejected for plain collectives.
+    on_infeasible:
+        ``"degrade"`` — shrink the collective to the surviving reachable
+        node set before solving (:func:`repro.collectives.degrade
+        .degrade_problem`) and record the dropped nodes on
+        ``solution.sacrificed``; ``None``/``"error"`` (default) — solve
+        the problem exactly as given.
     solve_kwargs:
         Forwarded to :func:`repro.lp.solve` (``warm_start``, ``canonical``,
-        ``cache``, ...).
+        ``cache``, ``warm_basis``, ``cache_tag``, ...).
     """
+    sacrificed = ()
+    if on_infeasible not in (None, "error", "degrade"):
+        raise ValueError(f"unknown on_infeasible policy {on_infeasible!r}")
+    if on_infeasible == "degrade":
+        from repro.collectives.degrade import degrade_problem
+
+        problem, sacrificed = degrade_problem(problem)
     spec = resolve_collective(problem, collective)
     spec.validate(problem)
     if mode is not None:
@@ -59,10 +73,14 @@ def solve_collective(problem, collective: Optional[str] = None,
         if not isinstance(spec, CompositeCollectiveSpec):
             raise ValueError(f"{spec.name!r} is not a composite collective; "
                              "the mode option does not apply")
-        return spec.solve(problem, backend=backend, eps=eps, passes=passes,
-                          mode=mode, **solve_kwargs)
-    return spec.solve(problem, backend=backend, eps=eps, passes=passes,
-                      **solve_kwargs)
+        sol = spec.solve(problem, backend=backend, eps=eps, passes=passes,
+                         mode=mode, **solve_kwargs)
+    else:
+        sol = spec.solve(problem, backend=backend, eps=eps, passes=passes,
+                         **solve_kwargs)
+    if sacrificed:
+        sol.sacrificed = sacrificed
+    return sol
 
 
 def schedule_collective(solution: CollectiveSolution):

@@ -114,9 +114,11 @@ def _family_of(lp: LinearProgram) -> str:
 
 
 def _solve_exact(lp: LinearProgram, warm_start: bool,
-                 family: Optional[str], canonical: bool) -> LPSolution:
+                 family: Optional[str], canonical: bool,
+                 warm_basis: Optional[Tuple] = None) -> LPSolution:
     fam = family if family is not None else _family_of(lp)
-    warm = _warm_bases.get(fam) if warm_start else None
+    warm = warm_basis if warm_basis is not None else (
+        _warm_bases.get(fam) if warm_start else None)
     sol = ExactSimplexSolver().solve(lp, warm_basis=warm, canonical=canonical)
     if sol.optimal and sol.basis_labels is not None:
         _warm_bases[fam] = sol.basis_labels
@@ -127,8 +129,10 @@ def solve(lp: LinearProgram, backend: str = "auto",
           exact_var_limit: int = EXACT_VAR_LIMIT,
           rationalize: bool = True, cache: bool = True,
           warm_start: bool = False,
+          warm_basis: Optional[Tuple] = None,
           family: Optional[str] = None,
           canonical: bool = False,
+          cache_tag: Optional[str] = None,
           presolve: bool = True) -> LPSolution:
     """Solve ``lp`` with the requested backend.
 
@@ -154,6 +158,16 @@ def solve(lp: LinearProgram, backend: str = "auto",
         vertex* than a cold solve, and downstream artifacts (tree
         extraction, schedules) depend on which vertex they get — opt in
         where only the objective/speed matters.
+    warm_basis:
+        Explicit basis-label tuple to crash in (overrides the ``family``
+        slot) — the incremental re-solve path of :mod:`repro.lp.resolve`
+        passes the previous solution's ``basis_labels`` here.  Implies a
+        ``cache_tag`` of ``"warm"`` unless one is given, so the possibly
+        different optimal vertex never collides with cold cache entries.
+    cache_tag:
+        Extra discriminator folded into the memo/disk cache key (``None``
+        leaves the key exactly as before).  Perturbed-platform re-solves
+        tag their entries with the perturbation-delta fingerprint.
     family:
         Warm-start slot name; defaults to ``lp.name`` up to the first
         ``"("`` so same-shape LPs on different platforms share a slot.
@@ -175,12 +189,16 @@ def solve(lp: LinearProgram, backend: str = "auto",
     rational = lp.is_rational()
     use_presolve = presolve and rational
 
+    if warm_basis is not None and cache_tag is None:
+        cache_tag = "warm"  # a warm vertex must not shadow the cold one
+
     key = None
     if cache:
         # backend + var limit pin the routing decision, so a cache hit
         # never has to re-derive it (which would require presolving first)
+        tag = f"t{cache_tag};" if cache_tag is not None else ""
         key = (f"{backend};{exact_var_limit};{rationalize};{int(canonical)};"
-               f"p{int(use_presolve)};{canonical_key(lp)}")
+               f"p{int(use_presolve)};{tag}{canonical_key(lp)}")
         hit = _memo.get(key)
         if hit is not None:
             _memo.move_to_end(key)
@@ -209,7 +227,8 @@ def solve(lp: LinearProgram, backend: str = "auto",
     if route == "exact":
         # family defaulting happens inside _solve_exact; presolve keeps
         # lp.name, so the reduced model resolves to the same family
-        sol = _solve_exact(model, warm_start, family, canonical)
+        sol = _solve_exact(model, warm_start, family, canonical,
+                           warm_basis=warm_basis)
     else:
         sol = HighsSolver().solve(model)
 

@@ -1,0 +1,350 @@
+"""Typed platform perturbations with exact LP row-edit deltas.
+
+The steady-state LPs assume a fixed platform; this module makes the
+platform *dynamic*.  A perturbation is a sequence of typed, composable
+events — :class:`LinkFailure`, :class:`LinkDegradation`,
+:class:`NodeFailure`, :class:`NodeJoin` — and :func:`perturb` maps
+``(platform, events)`` to a perturbed platform **plus** an exact
+description of how the collective LPs change: a
+:class:`PerturbationDelta` listing the capacity rows
+(``edge[..]``/``out[..]``/``in[..]``/``alpha[..]`` — the
+``CAPACITY_PREFIXES`` contract of :mod:`repro.collectives.base`) that
+are dropped, added, or rescaled.
+
+The delta is what makes degraded planning *incremental* rather than
+from-scratch:
+
+- its :attr:`~PerturbationDelta.fingerprint` keys the solve caches, so a
+  perturbed-platform solve can never collide with (or poison) the
+  pristine platform's cached solution (see ``cache_tag`` in
+  :func:`repro.lp.dispatch.solve`);
+- its :attr:`~PerturbationDelta.tightened` bit drives the warm-vs-cold
+  decision rule in :mod:`repro.lp.resolve`: capacity tightening keeps
+  the old basis *structurally* valid but possibly primal-infeasible
+  (repaired by the exact solver's feasibility-restoring phase), pure
+  loosening keeps it feasible and only re-prices.
+
+:func:`failure_trace` is the seeded scenario generator behind the
+degraded conformance axis (``tests/conformance/test_degraded.py``): it
+draws events that keep the platform strongly connected, so every
+registered collective's ``conformance_problem`` stays solvable on the
+perturbed platform.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.platform.graph import PlatformGraph
+
+NodeId = Hashable
+
+
+class PerturbationError(ValueError):
+    """An event does not apply to the platform (missing edge/node, ...)."""
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """The directed link ``src -> dst`` disappears.
+
+    A physically bidirectional link failing is two events, one per
+    direction — the LPs treat the directions as independent resources.
+    """
+
+    src: NodeId
+    dst: NodeId
+
+    def describe(self) -> str:
+        return f"fail link {self.src!r}->{self.dst!r}"
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """The link ``src -> dst`` slows down: cost is multiplied by ``factor``.
+
+    ``factor > 1`` tightens the capacity rows (the usual degradation);
+    ``0 < factor < 1`` models a link speed-up (capacity loosening).
+    Integer or :class:`~fractions.Fraction` factors keep the exact
+    pipeline exact.
+    """
+
+    src: NodeId
+    dst: NodeId
+    factor: object = 2
+
+    def describe(self) -> str:
+        return f"degrade link {self.src!r}->{self.dst!r} by {self.factor}x"
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """``node`` leaves: every incident link dies with it."""
+
+    node: NodeId
+
+    def describe(self) -> str:
+        return f"fail node {self.node!r}"
+
+
+@dataclass(frozen=True)
+class NodeJoin:
+    """A new node joins with symmetric links to existing peers.
+
+    ``links`` is a tuple of ``(peer, cost)`` pairs; each adds both
+    directed edges at that cost.  ``speed=None`` joins a pure router.
+    """
+
+    node: NodeId
+    speed: Optional[object] = None
+    links: Tuple[Tuple[NodeId, object], ...] = ()
+
+    def describe(self) -> str:
+        peers = ", ".join(repr(p) for p, _c in self.links)
+        kind = "compute node" if self.speed else "router"
+        return f"join {kind} {self.node!r} (links: {peers or 'none'})"
+
+
+Event = object  # LinkFailure | LinkDegradation | NodeFailure | NodeJoin
+
+
+# ----------------------------------------------------------------------
+# the row-edit delta
+# ----------------------------------------------------------------------
+
+#: ``RowEdit.kind`` values, in the order they are emitted.
+ROW_EDIT_KINDS = ("drop", "add", "scale")
+
+
+@dataclass(frozen=True)
+class RowEdit:
+    """One capacity row's change under a perturbation.
+
+    ``kind``:
+
+    - ``"drop"`` — with ``edge`` set, the terms belonging to that link
+      leave the row (for the ``edge[..]`` row itself that is the whole
+      row plus its variables); without ``edge``, the row disappears
+      entirely (node failure);
+    - ``"add"`` — the symmetric appearance (node join);
+    - ``"scale"`` — the coefficients of the terms belonging to ``edge``
+      are multiplied by ``factor`` (link degradation: the ``edge[..]``
+      row scales entirely, the shared ``out[..]``/``in[..]`` rows scale
+      only that link's terms).
+    """
+
+    row: str
+    kind: str
+    edge: Optional[Tuple[NodeId, NodeId]] = None
+    factor: object = None
+
+
+@dataclass(frozen=True)
+class PerturbationDelta:
+    """Exact LP-level description of a platform perturbation."""
+
+    events: Tuple[Event, ...]
+    row_edits: Tuple[RowEdit, ...]
+    #: True when any event can only shrink the feasible region (link or
+    #: node loss, slowdown factor > 1).  Tightening may leave a warm
+    #: basis primal-infeasible — the exact solver repairs it; pure
+    #: loosening keeps the old vertex feasible and only re-prices.
+    tightened: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable short hash of the event sequence, for cache keys."""
+        h = hashlib.blake2b(digest_size=8)
+        for ev in self.events:
+            h.update(repr(ev).encode())
+        return h.hexdigest()
+
+    def describe(self) -> str:
+        return "; ".join(ev.describe() for ev in self.events) or "no events"
+
+
+def _edge_rows(src: NodeId, dst: NodeId, kind: str,
+               factor: object = None) -> List[RowEdit]:
+    """The three capacity rows a single directed link participates in."""
+    e = (src, dst)
+    return [RowEdit(f"edge[{src}->{dst}]", kind, edge=e, factor=factor),
+            RowEdit(f"out[{src}]", kind, edge=e, factor=factor),
+            RowEdit(f"in[{dst}]", kind, edge=e, factor=factor)]
+
+
+def _apply(g: PlatformGraph, ev: Event) -> List[RowEdit]:
+    """Apply one event to ``g`` in place; return its row edits."""
+    if isinstance(ev, LinkFailure):
+        if not g.has_edge(ev.src, ev.dst):
+            raise PerturbationError(
+                f"cannot fail missing link {ev.src!r}->{ev.dst!r}")
+        g.remove_edge(ev.src, ev.dst)
+        return _edge_rows(ev.src, ev.dst, "drop")
+    if isinstance(ev, LinkDegradation):
+        if not g.has_edge(ev.src, ev.dst):
+            raise PerturbationError(
+                f"cannot degrade missing link {ev.src!r}->{ev.dst!r}")
+        f = ev.factor
+        try:
+            positive = f > 0
+        except TypeError:
+            positive = False
+        if not positive:
+            raise PerturbationError(f"degradation factor must be > 0, "
+                                    f"got {f!r}")
+        # overwrite in place: re-adding an existing edge keeps its position
+        # in the adjacency order, so LPs rebuilt from the perturbed platform
+        # index their variables exactly like the original (the canonical-key
+        # equivalence apply_delta's tests pin relies on this)
+        g.add_edge(ev.src, ev.dst, g.cost(ev.src, ev.dst) * f)
+        return _edge_rows(ev.src, ev.dst, "scale", factor=f)
+    if isinstance(ev, NodeFailure):
+        if ev.node not in g:
+            raise PerturbationError(f"cannot fail missing node {ev.node!r}")
+        edits: List[RowEdit] = []
+        for dst in g.successors(ev.node):
+            edits.extend(_edge_rows(ev.node, dst, "drop"))
+        for src in g.predecessors(ev.node):
+            edits.extend(_edge_rows(src, ev.node, "drop"))
+        edits.append(RowEdit(f"out[{ev.node}]", "drop"))
+        edits.append(RowEdit(f"in[{ev.node}]", "drop"))
+        if g.is_compute(ev.node):
+            edits.append(RowEdit(f"alpha[{ev.node}]", "drop"))
+        g.remove_node(ev.node)
+        return edits
+    if isinstance(ev, NodeJoin):
+        if ev.node in g:
+            raise PerturbationError(f"node {ev.node!r} already exists")
+        g.add_node(ev.node, ev.speed)
+        edits = [RowEdit(f"out[{ev.node}]", "add"),
+                 RowEdit(f"in[{ev.node}]", "add")]
+        if ev.speed:
+            edits.append(RowEdit(f"alpha[{ev.node}]", "add"))
+        for peer, cost in ev.links:
+            if peer not in g:
+                raise PerturbationError(
+                    f"join peer {peer!r} is not in the platform")
+            g.add_link(ev.node, peer, cost)
+            edits.extend(_edge_rows(ev.node, peer, "add"))
+            edits.extend(_edge_rows(peer, ev.node, "add"))
+        return edits
+    raise PerturbationError(f"unknown perturbation event {ev!r}")
+
+
+def _tightens(ev: Event) -> bool:
+    if isinstance(ev, (LinkFailure, NodeFailure)):
+        return True
+    if isinstance(ev, LinkDegradation):
+        try:
+            return ev.factor > 1
+        except TypeError:
+            return True
+    return False
+
+
+def perturb(platform: PlatformGraph, events: Iterable[Event],
+            ) -> Tuple[PlatformGraph, PerturbationDelta]:
+    """Apply ``events`` in order; return the new platform and its delta.
+
+    The input platform is never mutated.  Events compose left to right:
+    a later event sees the platform as shaped by the earlier ones (so a
+    ``NodeJoin`` followed by a ``LinkFailure`` on one of its fresh links
+    is legal).
+    """
+    events = tuple(events)
+    g = platform.copy()
+    g.name = f"{platform.name}~{'+'.join(type(e).__name__ for e in events)}" \
+        if events else platform.name
+    edits: List[RowEdit] = []
+    for ev in events:
+        edits.extend(_apply(g, ev))
+    return g, PerturbationDelta(events=events, row_edits=tuple(edits),
+                                tightened=any(_tightens(e) for e in events))
+
+
+# ----------------------------------------------------------------------
+# seeded scenario generation
+# ----------------------------------------------------------------------
+
+#: Integer slowdown factors drawn by :func:`failure_trace` — integers keep
+#: perturbed costs exactly rational whatever the original costs are.
+TRACE_FACTORS = (2, 3, 4)
+
+
+def failure_trace(platform: PlatformGraph, seed: int, n_events: int = 1,
+                  allow_failures: bool = True) -> Tuple[Event, ...]:
+    """Draw a deterministic degradation scenario for ``platform``.
+
+    Events are link-level only (``LinkFailure``/``LinkDegradation``) so
+    the collective's participant set survives.  A link failure is only
+    drawn when removing the edge keeps the platform strongly connected —
+    otherwise the trace degrades that link instead of cutting it — so
+    every ``conformance_problem`` stays solvable on the perturbed
+    platform.  Same ``(platform, seed)`` -> same trace, always.
+    """
+    rng = random.Random(seed)
+    g = platform.copy()
+    events: List[Event] = []
+    for _ in range(n_events):
+        edges = [(e.src, e.dst) for e in g.edges()]
+        if not edges:
+            break
+        src, dst = rng.choice(edges)
+        cut_ok = False
+        if allow_failures and rng.random() < 0.5:
+            trial = g.copy()
+            trial.remove_edge(src, dst)
+            cut_ok = trial.is_strongly_connected()
+        if cut_ok:
+            ev: Event = LinkFailure(src, dst)
+        else:
+            ev = LinkDegradation(src, dst, factor=rng.choice(TRACE_FACTORS))
+        _apply(g, ev)
+        events.append(ev)
+    return tuple(events)
+
+
+# ----------------------------------------------------------------------
+# CLI event-spec parsing
+# ----------------------------------------------------------------------
+
+def _parse_id(token: str) -> NodeId:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_event(spec: str) -> Event:
+    """Parse one CLI event spec.
+
+    - ``fail:SRC:DST`` — :class:`LinkFailure`
+    - ``slow:SRC:DST:FACTOR`` — :class:`LinkDegradation` (factor may be
+      an integer or ``p/q``)
+    - ``down:NODE`` — :class:`NodeFailure`
+    """
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind == "fail" and len(parts) == 3:
+        return LinkFailure(_parse_id(parts[1]), _parse_id(parts[2]))
+    if kind == "slow" and len(parts) == 4:
+        return LinkDegradation(_parse_id(parts[1]), _parse_id(parts[2]),
+                               factor=Fraction(parts[3]))
+    if kind == "down" and len(parts) == 2:
+        return NodeFailure(_parse_id(parts[1]))
+    raise PerturbationError(
+        f"bad event spec {spec!r} (want fail:SRC:DST, slow:SRC:DST:FACTOR "
+        f"or down:NODE)")
+
+
+def parse_events(text: str) -> Tuple[Event, ...]:
+    """Parse a comma-separated CLI event list."""
+    return tuple(parse_event(t) for t in text.split(",") if t)

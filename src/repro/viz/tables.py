@@ -42,6 +42,38 @@ def rates_table(solution, title: str = "send rates") -> str:
     return format_table(headers, rows, title=title)
 
 
+def degradation_table(report, run=None, title: str = "degradation") -> str:
+    """What a platform perturbation cost, in one metric/value table.
+
+    ``report`` is a :class:`repro.lp.resolve.ReplanReport`; pass the
+    :class:`repro.sim.faults.FaultedRun` as ``run`` to append the
+    simulator-side view (schedule switch time, post-switch measured
+    steady throughput).
+    """
+    rows = [("events", report.delta.describe()),
+            ("TP before", report.base_throughput),
+            ("TP after", report.throughput),
+            ("replan path", "warm (incremental)" if report.warm
+             else "cold (rebuild)"),
+            ("replan latency", f"{report.replan_s * 1e3:.1f} ms")]
+    if report.cold_s is not None:
+        rows.append(("cold solve", f"{report.cold_s * 1e3:.1f} ms"))
+        rows.append(("speedup", f"{report.speedup:.2f}x"))
+    rows.append(("sacrificed",
+                 ", ".join(str(n) for n in report.sacrificed) or "none"))
+    if run is not None:
+        from repro.sim.faults import steady_window_throughput
+
+        for sw in run.result.switches:
+            rows.append(("schedule switch",
+                         f"t={sw['time']} ({sw['mode']})"))
+        if run.result.abandoned:
+            rows.append(("abandoned", str(len(run.result.abandoned))))
+        rows.append(("steady TP (measured)",
+                     steady_window_throughput(run)))
+    return format_table(["metric", "value"], rows, title=title)
+
+
 def composition_table(solution, title: str = "composition") -> str:
     """Stage breakdown of a composed collective solution.
 

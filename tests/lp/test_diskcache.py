@@ -52,6 +52,19 @@ class TestStore:
             fh.write(b"not a pickle")
         assert diskcache.load("k") is None
 
+    def test_truncated_entry_is_a_miss(self, cache_dir):
+        """A crash mid-write leaves a syntactically-valid prefix of a
+        pickle stream; loading it must be a miss, never a crash."""
+        sol = solve(_fig2_lp(), cache=False)
+        diskcache.store("k", sol)
+        (path,) = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)
+                   if f.endswith(diskcache.SUFFIX)]
+        blob = open(path, "rb").read()
+        assert len(blob) > 16
+        with open(path, "wb") as fh:
+            fh.write(blob[:len(blob) // 2])
+        assert diskcache.load("k") is None
+
     def test_non_solution_pickle_rejected(self, cache_dir):
         path = diskcache._entry_path(cache_dir, "evil")
         with open(path, "wb") as fh:
@@ -146,6 +159,29 @@ class TestDispatchIntegration:
         before = cache_stats()["disk_hits"]
         solve(_fig2_lp())  # memo hit; disk untouched
         assert cache_stats()["disk_hits"] == before
+
+    def test_cache_tag_separates_entries(self, cache_dir):
+        """Perturbed-platform re-solves tag their keys: the same model
+        solved under a tag must not collide with the untagged entry (a
+        warm solve can land on a different optimal vertex, and a stale
+        pristine hit would fake a degraded result)."""
+        solve(_fig2_lp())
+        assert diskcache.stats()["entries"] == 1
+        solve(_fig2_lp(), cache_tag="perturb:deadbeef")
+        assert diskcache.stats()["entries"] == 2        # distinct key spaces
+        before = cache_stats()["disk_hits"]
+        clear_cache()
+        solve(_fig2_lp(), cache_tag="perturb:deadbeef")  # tagged hit
+        solve(_fig2_lp())                                # untagged hit
+        assert cache_stats()["disk_hits"] == before + 2
+        assert diskcache.stats()["entries"] == 2
+
+    def test_warm_basis_implies_a_tag(self, cache_dir):
+        """An explicit warm basis must never shadow the cold cache slot."""
+        first = solve(_fig2_lp())
+        warm = solve(_fig2_lp(), warm_basis=first.basis_labels)
+        assert warm.objective == first.objective
+        assert diskcache.stats()["entries"] == 2
 
     def test_env_var_enables_cache(self, tmp_path, monkeypatch):
         clear_cache()
