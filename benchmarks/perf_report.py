@@ -52,6 +52,7 @@ from repro.platform.generators import complete, ring
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 PR1_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 REPLAN_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+REVISED_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
 
 #: PR 1-solver timings for cases that did not exist in ``BENCH_PR1.json``,
 #: measured once on the machine that produced the committed baseline.
@@ -214,6 +215,105 @@ def _replan_cases() -> Dict[str, Callable[[], tuple]]:
     }
 
 
+def _revised_cases() -> Dict[str, Callable[[], object]]:
+    """name -> () -> solved collective, through the revised-simplex path.
+
+    The PR 7 scale tiers: LPs past the old ``EXACT_VAR_LIMIT = 5000``
+    that the tableau engine cannot touch (its dense fraction-free rows
+    blow up quadratically), solved exactly by the LU-factorized revised
+    simplex with the float-assisted crash.  ``fig9_8host`` goes through
+    plain auto-dispatch — 17k raw variables route to the revised engine
+    with no backend hint — and is the acceptance rung: its rational
+    throughput must match HiGHS in float and verify clean.
+    """
+    from repro.collectives import solve_collective
+    from repro.core.allreduce import AllReduceProblem
+
+    def fig9_8host():
+        problem = AllReduceProblem(figure9_platform(),
+                                   figure9_participants(), msg_size=10,
+                                   task_work=10)
+        return solve_collective(problem, collective="all-reduce",
+                                backend="auto", mode="pipelined",
+                                cache=False)
+
+    def ring128_scatter():
+        g = ring(128, cost=1)
+        nodes = g.nodes()
+        return solve_collective(ScatterProblem(g, nodes[0], nodes[1:]),
+                                backend="revised", cache=False)
+
+    def complete12_reduce():
+        g = complete(12, cost=1)
+        return solve_collective(ReduceProblem(g, g.nodes(), g.nodes()[0]),
+                                collective="reduce", backend="revised",
+                                cache=False)
+
+    return {
+        "fig9_8host_allreduce_pipelined": fig9_8host,
+        "ring128_scatter": ring128_scatter,
+        "complete12_reduce": complete12_reduce,
+    }
+
+
+def bench_revised(name: str, case: Callable[[], object]) -> Dict[str, object]:
+    """Time one revised-engine tier end to end and cross-check HiGHS."""
+    from repro.collectives import solve_collective
+
+    t0 = time.perf_counter()
+    sol = case()
+    solve_s = time.perf_counter() - t0
+    assert sol.exact, f"{name}: revised tier came back inexact"
+    assert sol.verify() == [], f"{name}: solution fails verification"
+    stats = sol.lp_solution.stats if sol.lp_solution is not None else {}
+
+    mode = getattr(sol, "mode", "")
+    highs = solve_collective(sol.problem, collective=sol.collective,
+                             backend="highs", cache=False,
+                             **({"mode": mode} if mode else {}))
+    assert abs(float(sol.throughput) - float(highs.throughput)) < 1e-7, \
+        f"{name}: exact and HiGHS optima disagree"
+
+    entry: Dict[str, object] = {
+        "solve_s": round(solve_s, 5),
+        "throughput": str(sol.throughput),
+        "highs_agrees": True,
+    }
+    if stats:
+        entry.update({
+            "vars": stats.get("basis_m"),
+            "path": stats.get("path"),
+            "pivots": stats.get("pivots"),
+            "dual_pivots": stats.get("dual_pivots"),
+            "refactorizations": stats.get("refactorizations"),
+        })
+    return entry
+
+
+def run_revised() -> Dict[str, object]:
+    cases = {name: bench_revised(name, case)
+             for name, case in _revised_cases().items()}
+    return {
+        "meta": {
+            "pr": 7,
+            "description": "rational revised simplex (LU-factorized basis, "
+                           "float-assisted crash, commodity-block Devex "
+                           "pricing) on LPs past the old tableau limit; "
+                           "each tier solved exactly end to end, verified, "
+                           "and cross-checked against HiGHS in float",
+            "python": _platform.python_version(),
+            "machine": _platform.machine(),
+        },
+        "revised_cases": cases,
+    }
+
+
+def write_revised_report(path: Path = REVISED_PATH) -> Dict[str, object]:
+    report = run_revised()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def _x20_edge():
     from repro.platform.generators import heterogenize, random_connected
 
@@ -222,20 +322,35 @@ def _x20_edge():
     return e.src, e.dst
 
 
-def bench_replan(name: str, case: Callable[[], tuple]) -> Dict[str, object]:
-    """Time one warm incremental re-solve against its cold twin."""
+def bench_replan(name: str, case: Callable[[], tuple],
+                 repeats: int = 3) -> Dict[str, object]:
+    """Time one warm incremental re-solve against its cold twin.
+
+    Best-of-``repeats`` on both sides: the millisecond-scale paper tiers
+    would otherwise report scheduler noise as a warm win or loss.  The
+    slow tier (``x20``) only gets one cold run — its cold solve is
+    seconds-scale and far from the noise floor.
+    """
     from repro.lp.resolve import replan
 
     sol, events = case()
     report = replan(sol, events, compare=True)
     assert report.throughput == report.cold_solution.throughput, \
         f"{name}: warm and cold replan disagree"
+    replan_s, cold_s = report.replan_s, report.cold_s
+    for _ in range(repeats - 1):
+        if cold_s > 1.0:
+            break
+        again = replan(sol, events, compare=True)
+        assert again.throughput == report.throughput
+        replan_s = min(replan_s, again.replan_s)
+        cold_s = min(cold_s, again.cold_s)
     return {
         "events": report.delta.describe(),
         "warm": report.warm,
-        "replan_s": round(report.replan_s, 5),
-        "cold_s": round(report.cold_s, 5),
-        "speedup_x": round(report.speedup, 2),
+        "replan_s": round(replan_s, 5),
+        "cold_s": round(cold_s, 5),
+        "speedup_x": round(cold_s / replan_s, 2),
         "tp_before": str(report.base_throughput),
         "tp_after": str(report.throughput),
     }
@@ -390,7 +505,17 @@ def main() -> None:
     ap.add_argument("--replan", action="store_true",
                     help="benchmark the PR 6 warm-replan tiers and write "
                          "BENCH_PR6.json (leaves BENCH_PR3.json untouched)")
+    ap.add_argument("--revised", action="store_true",
+                    help="benchmark the PR 7 revised-simplex scale tiers "
+                         "and write BENCH_PR7.json")
     args = ap.parse_args()
+    if args.revised:
+        report = write_revised_report()
+        for name, c in report["revised_cases"].items():
+            print(f"{name:>32}: {c['solve_s']:>8}s  TP {c['throughput']:>8}"
+                  f"  {c.get('path', '?')}  {c.get('pivots', '?')} pivots")
+        print(f"wrote {REVISED_PATH}")
+        return
     if args.replan:
         report = write_replan_report()
         for name, c in report["replan_cases"].items():

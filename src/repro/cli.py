@@ -16,7 +16,11 @@ so adding a collective automatically adds its CLI.  Examples::
     repro demo fig6
     repro demo fig9
     repro demo reduce-scatter
+    repro demo broadcast
+    repro demo all-gather
     repro demo all-reduce    # the composition layer end-to-end
+    repro scatter --platform plat.json --source Ps --targets P0,P1 \\
+        --backend revised --lp-stats   # pivot/LU counters from the solver
     repro perturb --platform plat.json --events fail:p0:p1
     repro scatter --platform plat.json --source Ps --targets P0,P1 \\
         --simulate --faults 4:fail:P0:P1   # mid-run failure + replan
@@ -69,7 +73,12 @@ def _add_solve_subcommand(sub, spec) -> None:
     sp.add_argument("--platform", required=True, help="platform JSON file")
     spec.add_arguments(sp)
     sp.add_argument("--backend", default="auto",
-                    choices=["auto", "exact", "highs"])
+                    choices=["auto", "exact", "tableau", "revised", "highs"])
+    sp.add_argument("--lp-stats", action="store_true",
+                    help="print solver statistics (pivot counts, LU "
+                         "refactorizations, crash path, per-phase timings) "
+                         "after solving; the revised backend records them, "
+                         "tableau/HiGHS solves report none")
     if isinstance(spec, CompositeCollectiveSpec):
         sp.add_argument("--mode", default=None, choices=COMPOSITION_MODES,
                         help=f"composition mode (default: {spec.mode})")
@@ -103,6 +112,8 @@ def _cmd_solve(spec, args) -> int:
           f"{spec.tp_suffix(problem, sol)}")
     if sol.sacrificed:
         print(f"degraded: sacrificed {', '.join(map(str, sol.sacrificed))}")
+    if getattr(args, "lp_stats", False):
+        _print_lp_stats(sol)
     body = spec.report(sol)
     if body:
         print(body)
@@ -121,6 +132,35 @@ def _cmd_solve(spec, args) -> int:
                   f"time-units (bound {bound:.1f}); "
                   f"correct={res.correct}")
     return 0
+
+
+def _print_lp_stats(sol) -> None:
+    """Solver statistics for one solution (stage-by-stage for sequential
+    composites, whose stages each carry their own LP)."""
+    stages = [("", sol)]
+    if sol.lp_solution is None and getattr(sol, "stage_solutions", None):
+        stages = [(f"stage {i} ({s.collective})", s)
+                  for i, s in enumerate(sol.stage_solutions)]
+    for label, s in stages:
+        lead = f"  {label}: " if label else "solver stats: "
+        lps = s.lp_solution
+        stats = lps.stats if lps is not None else None
+        if not stats:
+            backend = lps.backend if lps is not None else "?"
+            print(f"{lead}none recorded (backend {backend})")
+            continue
+        print(f"{lead}{lps.backend}, path {stats['path']}, "
+              f"basis {stats['basis_m']} rows")
+        print(f"    pivots: {stats['pivots']} "
+              f"(phase1 {stats['phase1_pivots']}, "
+              f"phase2 {stats['phase2_pivots']}, "
+              f"dual {stats['dual_pivots']})")
+        print(f"    LU: {stats['refactorizations']} refactorization(s), "
+              f"{stats['ftran']} ftran, {stats['btran']} btran")
+        print(f"    time: factor {stats['factor_s']:.3f}s, "
+              f"phase1 {stats['phase1_s']:.3f}s, "
+              f"phase2 {stats['phase2_s']:.3f}s, "
+              f"dual {stats['dual_s']:.3f}s")
 
 
 def _run_faulted(spec, sol, args) -> int:
@@ -161,7 +201,8 @@ def _cmd_collectives(args) -> int:
 # paper-figure demos
 # ----------------------------------------------------------------------
 
-DEMOS = ["fig2", "fig6", "fig9", "reduce-scatter", "all-reduce"]
+DEMOS = ["fig2", "fig6", "fig9", "reduce-scatter", "broadcast",
+         "all-gather", "all-reduce"]
 
 
 def _cmd_demo(args) -> int:
@@ -208,6 +249,28 @@ def _cmd_demo(args) -> int:
             for t in trees:
                 print(t.describe())
         print(ascii_gantt(build_reduce_scatter_schedule(sol)))
+    elif args.which == "broadcast":
+        from repro.core.broadcast import (BroadcastProblem,
+                                          build_broadcast_schedule,
+                                          solve_broadcast)
+        problem = BroadcastProblem(figure2_platform(), "Ps",
+                                   figure2_targets())
+        sol = solve_broadcast(problem, backend="exact")
+        print(f"Broadcast on the Figure 2 platform: TP = {sol.throughput} "
+              f"(every target gets the full message; scatter managed 1/2)")
+        for tree in sol.arborescences():
+            print(tree.describe())
+        print(ascii_gantt(build_broadcast_schedule(sol)))
+    elif args.which == "all-gather":
+        from repro.core.allgather import (AllGatherProblem,
+                                          build_all_gather_schedule,
+                                          solve_all_gather)
+        problem = AllGatherProblem(figure6_platform(), [0, 1, 2])
+        sol = solve_all_gather(problem, backend="exact")
+        print(f"All-gather on the Figure 6 triangle: TP = {sol.throughput} "
+              f"(joint LP over {len(sol.stage_solutions or ())} broadcasts "
+              f"sharing the port budgets)")
+        print(ascii_gantt(build_all_gather_schedule(sol)))
     elif args.which == "all-reduce":
         from repro.core.allreduce import (AllReduceProblem,
                                           build_all_reduce_schedule,

@@ -16,7 +16,7 @@ provides the substrate from scratch:
   columns, duplicate and dominated one-port rows, free column
   singletons; a ``Postsolve`` object maps the reduced solution back to
   the original variable names, exactly.
-- :mod:`repro.lp.exact_simplex` — the production exact backend: a sparse
+- :mod:`repro.lp.exact_simplex` — the *tableau* exact backend: a sparse
   fraction-free two-phase simplex (integer rows over a per-row common
   denominator, an exact column index so pivots touch only rows with a
   nonzero in the entering column, Devex partial pricing with Bland
@@ -25,6 +25,13 @@ provides the substrate from scratch:
   columns physically dropped after Phase 1, warm starts from a
   label-addressed basis).  Bit-exact rational optima, exactly what the
   lcm-of-denominators step needs.
+- :mod:`repro.lp.revised_simplex` — the *revised* exact backend for large
+  models: never materializes the tableau; sparse LU factorization of the
+  basis over ``Fraction`` with Markowitz pivoting, product-form eta
+  updates between refactorizations, FTRAN/BTRAN solves, Devex pricing
+  over commodity-block partial sweeps, a perturbed floating-point crash
+  that lands on (or next to) the optimal basis, and a **dual simplex**
+  entry from a recorded basis for tightened re-solves.
 - :mod:`repro.lp.dense_simplex` — the original dense ``Fraction`` tableau,
   kept as a slow-but-obviously-correct oracle for differential tests.
 - :mod:`repro.lp.highs` — a floating-point backend on
@@ -37,11 +44,17 @@ provides the substrate from scratch:
 
 Backend selection and warm starts
 ---------------------------------
-``solve(lp)`` (``backend="auto"``) presolves rational LPs, then picks the
-exact simplex whenever the reduced model has at most
-:data:`repro.lp.dispatch.EXACT_VAR_LIMIT` variables (5000 — covering the
-48-node ring scatter tier's 4419), else
-HiGHS followed by verified rationalization.  Identical models are memoized
+``solve(lp)`` (``backend="auto"``) presolves rational LPs, then picks an
+exact engine whenever the reduced model has at most
+:data:`repro.lp.dispatch.EXACT_VAR_LIMIT` variables (50000 — covering the
+fig9 8-host pipelined all-reduce and the 128-node ring scatter tier), else
+HiGHS followed by verified rationalization.  Within the exact route the
+fraction-free tableau serves models up to
+:data:`repro.lp.dispatch.TABLEAU_VAR_LIMIT` (5000) presolved variables
+plus every ``canonical=True`` solve, and the revised simplex serves
+everything larger and every ``dual=True`` re-solve; both produce
+bit-identical objectives (enforced by the differential suite).
+Identical models are memoized
 under a canonical hash (:func:`repro.lp.dispatch.canonical_key`), so the
 pipeline's repeated ``solve_reduce`` calls cost one simplex run.  Exact
 solves also record their optimal basis per LP *family* (name up to the
@@ -54,6 +67,7 @@ resets both layers (benchmarks do this to measure cold solves).
 from repro.lp.model import Constraint, LinearProgram, LinExpr, Variable, lin_sum
 from repro.lp.solution import LPSolution, SolveStatus
 from repro.lp.exact_simplex import ExactSimplexSolver
+from repro.lp.revised_simplex import RevisedSimplexSolver
 from repro.lp.dense_simplex import DenseSimplexSolver
 from repro.lp.highs import HighsSolver
 from repro.lp.rationalize import rationalize_solution
@@ -68,6 +82,7 @@ __all__ = [
     "LPSolution",
     "SolveStatus",
     "ExactSimplexSolver",
+    "RevisedSimplexSolver",
     "DenseSimplexSolver",
     "HighsSolver",
     "rationalize_solution",

@@ -3,12 +3,29 @@
 Rational LPs are shrunk by :mod:`repro.lp.presolve` first (on by
 default; exactly reversible via its ``Postsolve``), then
 ``backend="auto"`` sends models up to :data:`EXACT_VAR_LIMIT` variables
-to the exact sparse simplex (bit-exact rationals, as the paper's
+to an exact rational simplex (bit-exact rationals, as the paper's
 pipeline assumes) and everything else to HiGHS, followed by a
 rationalization attempt so downstream exact machinery can still run
 whenever the optimum has modest denominators.  The limit is checked on
 the *reduced* model, so presolve can pull an oversized LP back onto the
 exact path.
+
+Two exact engines sit behind the ``"exact"`` route:
+
+- the fraction-free **tableau** simplex (:mod:`repro.lp.exact_simplex`)
+  for models up to :data:`TABLEAU_VAR_LIMIT` presolved variables and for
+  every ``canonical=True`` solve (its lexicographic tie-break is defined
+  on the tableau), and
+- the **revised** simplex (:mod:`repro.lp.revised_simplex`) — LU-
+  factorized basis, float-assisted crash, dual re-solve entry — for
+  everything above, up to :data:`EXACT_VAR_LIMIT`.  ``dual=True``
+  re-solves always use it, whatever the size.
+
+Both return bit-identical optimal objectives (the differential suite in
+``tests/lp/test_revised_simplex.py`` enforces it), so the split is purely
+a performance decision: below ~5000 variables the dense tableau's cheap
+pivots win; above it the revised path's sparse LU and crash basis are the
+only thing that finishes.
 
 Three layers of reuse sit in front of the solvers:
 
@@ -48,15 +65,25 @@ from repro.lp.highs import HighsSolver
 from repro.lp.model import LinearProgram
 from repro.lp.presolve import presolve as run_presolve
 from repro.lp.rationalize import rationalize_solution
+from repro.lp.revised_simplex import RevisedSimplexSolver
 from repro.lp.solution import LPSolution, SolveStatus
 
-#: LPs with at most this many variables go to the exact simplex by default.
-#: With presolve plus the indexed fraction-free simplex the 48-node ring
-#: scatter tier (4419 vars) solves exactly in under a second, so the
-#: paper-scale platforms and the scaled benchmark tiers all stay exact.
-#: The limit is checked against the model *after* presolve, so an LP that
-#: shrinks under it still gets the exact path.
-EXACT_VAR_LIMIT = 5000
+#: LPs with at most this many variables go to an exact engine by default.
+#: The revised simplex (float-assisted crash + sparse rational LU) solves
+#: the fig9 8-host pipelined all-reduce (~6.5k presolved vars) in seconds
+#: and the 128-node ring scatter (~32k vars) in well under a minute, so
+#: paper-scale platforms, the scaled benchmark tiers, and the composite
+#: collectives all stay exact.  The limit is checked against the model
+#: *after* presolve, so an LP that shrinks under it still gets the exact
+#: path.
+EXACT_VAR_LIMIT = 50000
+
+#: Within the exact route, models up to this many presolved variables use
+#: the fraction-free tableau simplex; larger ones use the revised simplex.
+#: The tableau's dense pivots are cheaper per iteration on small models
+#: and it is the reference ("oracle") implementation the differential
+#: suite compares against; ``canonical=True`` solves always use it.
+TABLEAU_VAR_LIMIT = 5000
 
 #: Max entries kept in the solve memo cache (FIFO eviction).
 CACHE_SIZE = 128
@@ -115,11 +142,17 @@ def _family_of(lp: LinearProgram) -> str:
 
 def _solve_exact(lp: LinearProgram, warm_start: bool,
                  family: Optional[str], canonical: bool,
-                 warm_basis: Optional[Tuple] = None) -> LPSolution:
+                 warm_basis: Optional[Tuple] = None,
+                 engine: str = "tableau",
+                 dual: bool = False) -> LPSolution:
     fam = family if family is not None else _family_of(lp)
     warm = warm_basis if warm_basis is not None else (
         _warm_bases.get(fam) if warm_start else None)
-    sol = ExactSimplexSolver().solve(lp, warm_basis=warm, canonical=canonical)
+    if engine == "revised":
+        sol = RevisedSimplexSolver().solve(lp, warm_basis=warm, dual=dual)
+    else:
+        sol = ExactSimplexSolver().solve(lp, warm_basis=warm,
+                                         canonical=canonical)
     if sol.optimal and sol.basis_labels is not None:
         _warm_bases[fam] = sol.basis_labels
     return sol
@@ -133,16 +166,28 @@ def solve(lp: LinearProgram, backend: str = "auto",
           family: Optional[str] = None,
           canonical: bool = False,
           cache_tag: Optional[str] = None,
-          presolve: bool = True) -> LPSolution:
+          presolve: bool = True,
+          dual: bool = False) -> LPSolution:
     """Solve ``lp`` with the requested backend.
 
     Parameters
     ----------
     backend:
-        ``"exact"`` — rational sparse simplex (requires rational data);
+        ``"exact"`` — rational simplex (requires rational data): the
+        tableau engine up to :data:`TABLEAU_VAR_LIMIT` presolved
+        variables, the revised engine above it;
+        ``"tableau"`` / ``"revised"`` — force a specific exact engine
+        (differential tests and benchmarks);
         ``"highs"`` — scipy/HiGHS float solve;
         ``"auto"`` — exact when the LP is rational and (after presolve)
         has at most ``exact_var_limit`` variables, HiGHS otherwise.
+    dual:
+        Exact path only: enter the dual simplex from the crashed basis
+        (``warm_basis`` is the intended companion — the tightened-
+        perturbation re-solves of :mod:`repro.lp.resolve` pass the old
+        optimal basis, which stays dual feasible when constraints only
+        tighten).  Forces the revised engine, which owns the dual
+        method; incompatible with ``canonical=True``.
     rationalize:
         After a HiGHS solve of a rational LP, attempt to snap the solution
         to exact rationals (verified); on success the returned solution has
@@ -184,8 +229,17 @@ def solve(lp: LinearProgram, backend: str = "auto",
         is identical with presolve on or off.
     """
     global _disk_hits
-    if backend not in ("exact", "highs", "auto"):
+    if backend not in ("exact", "tableau", "revised", "highs", "auto"):
         raise ValueError(f"unknown backend {backend!r}")
+    if dual and canonical:
+        raise ValueError("dual=True needs the revised engine, which has "
+                         "no canonical mode")
+    if dual and backend in ("tableau", "highs"):
+        raise ValueError(f"dual=True is incompatible with backend="
+                         f"{backend!r}")
+    if canonical and backend == "revised":
+        raise ValueError("canonical=True is tableau-only; use "
+                         "backend='exact' or 'tableau'")
     rational = lp.is_rational()
     use_presolve = presolve and rational
 
@@ -194,10 +248,12 @@ def solve(lp: LinearProgram, backend: str = "auto",
 
     key = None
     if cache:
-        # backend + var limit pin the routing decision, so a cache hit
-        # never has to re-derive it (which would require presolving first)
+        # backend + var limits + dual pin the routing decision, so a
+        # cache hit never has to re-derive it (which would require
+        # presolving first)
         tag = f"t{cache_tag};" if cache_tag is not None else ""
-        key = (f"{backend};{exact_var_limit};{rationalize};{int(canonical)};"
+        key = (f"{backend};{exact_var_limit};{TABLEAU_VAR_LIMIT};"
+               f"d{int(dual)};{rationalize};{int(canonical)};"
                f"p{int(use_presolve)};{tag}{canonical_key(lp)}")
         hit = _memo.get(key)
         if hit is not None:
@@ -220,15 +276,22 @@ def solve(lp: LinearProgram, backend: str = "auto",
                               lp=lp)
         model = pres.lp
 
-    route = "exact" if backend == "exact" or (
+    exact_route = backend in ("exact", "tableau", "revised") or (
         backend == "auto" and rational
-        and model.num_vars() <= exact_var_limit) else "highs"
+        and model.num_vars() <= exact_var_limit)
 
-    if route == "exact":
+    if exact_route:
+        if backend in ("tableau", "revised"):
+            engine = backend
+        elif canonical or (model.num_vars() <= TABLEAU_VAR_LIMIT
+                           and not dual):
+            engine = "tableau"
+        else:
+            engine = "revised"
         # family defaulting happens inside _solve_exact; presolve keeps
         # lp.name, so the reduced model resolves to the same family
         sol = _solve_exact(model, warm_start, family, canonical,
-                           warm_basis=warm_basis)
+                           warm_basis=warm_basis, engine=engine, dual=dual)
     else:
         sol = HighsSolver().solve(model)
 

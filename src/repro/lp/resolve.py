@@ -17,10 +17,11 @@ ROADMAP.md):
   primal feasible — the crash basis passes the feasibility check and the
   solver goes straight to phase-2 re-pricing.
 - **Tightening** deltas (link/node loss, slowdown) may leave the crashed
-  basis infeasible in exactly the touched rows; the exact solver's
-  feasibility-restoring repair (negate violated rows, fresh basic
-  artificials, phase 1 from the near-feasible vertex) recovers it in a
-  handful of pivots.
+  basis primal-infeasible in exactly the touched rows — but it stays
+  *dual* feasible (reduced costs don't depend on the right-hand side),
+  so :func:`replan` passes ``dual=True`` and the revised simplex
+  (:mod:`repro.lp.revised_simplex`) re-solves with dual pivots from the
+  old basis instead of crashing through a phase-1 feasibility repair.
 - Either way the optimum is **bit-identical** to a cold solve of the
   perturbed LP — only the returned vertex (and the time to reach it) can
   differ.  An unrepairable crash (many violated rows, e.g. a delta that
@@ -123,13 +124,19 @@ def apply_delta(lp: LinearProgram,
     return new
 
 
-#: Crash-pivoting a basis of m labels costs ~m fraction-free pivots — about
-#: one cold solve's worth on a small LP, where phase 1 + phase 2 finish in
-#: fewer.  Measured crossover on this codebase's scatter/composite LPs is a
-#: few hundred rows: below it the incremental path still skips the
-#: problem/LP rebuild but starts the simplex cold; above it the warm crash
-#: wins outright (10x on the 20-node scatter tier).
-WARM_BASIS_MIN_LABELS = 150
+#: Crashing a basis of m labels means LU-factorizing it exactly before any
+#: dual pivot runs — a small fixed cost in Fraction arithmetic (plus one
+#: scipy solve when the crash falls back to the float guess).  Re-measured
+#: for the dual re-solve path (revised engine): the crash pays for itself
+#: from about a hundred labels up — fig6 pipelined all-reduce (96 labels)
+#: re-solves in ~18 ms vs a ~29 ms cold rebuild, fig9 scatter (108) hits
+#: ``warm-dual`` with 0 pivots at ~16 ms vs ~20 ms cold, ring24 (577)
+#: 166 ms vs 252 ms (2.7x over the old tableau phase-1 repair at 363 ms),
+#: x20 scatter ~36x.  Below the floor (fig2: 10 labels, ring8: 65) the
+#: exact-LU setup costs more than the couple of milliseconds a cold
+#: tableau solve needs, so replan skips the crash and only skips the
+#: problem/LP rebuild.
+WARM_BASIS_MIN_LABELS = 90
 
 
 @dataclass
@@ -253,9 +260,34 @@ def replan(solution, events: Tuple[Event, ...], backend: str = "exact",
     kwargs.setdefault("cache", False)
     warm_kwargs = dict(kwargs)
     crash = basis is not None and len(basis) >= WARM_BASIS_MIN_LABELS
+    warm_backend = backend
     if crash:
         warm_kwargs["warm_basis"] = basis
         warm_kwargs["cache_tag"] = f"perturb:{delta.fingerprint}"
+        dropped = any(ed.kind == "drop" for ed in delta.row_edits)
+        if dropped:
+            # a removed link deletes its (usually tight) capacity row,
+            # which moves every reduced cost through that row's dual
+            # multiplier — the old basis is rarely dual feasible, so the
+            # dual entry would pay for a failed crash and fall back.
+            # The tableau's feasibility-restoring repair shines here
+            # instead: the dead columns pin at 0, presolve shreds them,
+            # and the repair re-solves the shrunk LP in a few pivots.
+            pass
+        else:
+            if backend == "exact":
+                # scale edits keep the structure: the revised engine
+                # owns the fast re-solve routes — the dual entry from
+                # the old basis and, when the scaling moved the reduced
+                # costs after all, the float-assisted crash fallback,
+                # which still beats the tableau's cold pivots on the
+                # degenerate composite LPs
+                warm_backend = "revised"
+            if delta.tightened:
+                # the old optimal basis stays dual feasible when the
+                # touched terms priced no basic column: enter the dual
+                # simplex from it instead of phase-1 feasibility repair
+                warm_kwargs["dual"] = True
 
     # incremental fast path: when the collective survives whole and the
     # delta is pure row edits, skip the problem/LP rebuild entirely —
@@ -268,12 +300,13 @@ def replan(solution, events: Tuple[Event, ...], backend: str = "exact",
 
     t0 = perf_counter()
     if lp2 is not None:
-        new_sol = _extract_from_lp(solution, new_problem, lp2, backend,
+        new_sol = _extract_from_lp(solution, new_problem, lp2, warm_backend,
                                    mode, warm_kwargs)
     else:
         new_sol = solve_collective(new_problem,
                                    collective=solution.collective,
-                                   backend=backend, mode=mode, **warm_kwargs)
+                                   backend=warm_backend, mode=mode,
+                                   **warm_kwargs)
     replan_s = perf_counter() - t0
     if sacrificed and not new_sol.sacrificed:
         new_sol.sacrificed = sacrificed

@@ -33,6 +33,14 @@ class LPSolution:
     structurally similar LP can warm-start from it (see
     :func:`repro.lp.dispatch.solve`).  ``message`` carries diagnostics for
     ``ERROR`` statuses (e.g. iteration-limit overruns).
+
+    ``stats`` (when the backend provides it — the revised simplex does)
+    is a flat dict of solver counters and timings: pivot counts per
+    phase, refactorizations, FTRAN/BTRAN solves, per-phase seconds and
+    the solve path taken (``cold``, ``float-primal`` / ``float-dual``
+    for the perturbed-float basis crash, ``warm-primal`` /
+    ``warm-dual`` from a recorded basis).  The ``--lp-stats`` CLI flag
+    prints it.
     """
 
     status: SolveStatus
@@ -44,6 +52,7 @@ class LPSolution:
     iterations: int = 0
     message: str = ""
     basis_labels: Optional[tuple] = None
+    stats: Optional[dict] = None
 
     @property
     def optimal(self) -> bool:

@@ -91,6 +91,31 @@ def test_exact_and_highs_agree_and_verify(plat, spec):
         assert 0 <= occ <= 1 + tol
 
 
+@pytest.mark.parametrize(
+    "plat,spec", CASES,
+    ids=[f"{p.name}-{s.name}" for p, s in CASES])
+def test_revised_engine_is_bit_identical(plat, spec):
+    """PR 7: the LU-factorized revised simplex must reproduce the tableau
+    oracle's rational optimum *bit-exactly* on every shared-size case."""
+    hosts = plat.compute_nodes()
+    case_id = zlib.crc32(f"{plat.name}-{spec.name}".encode())
+    rng = random.Random(SEED ^ case_id)
+    problem = spec.conformance_problem(plat, hosts, rng)
+    if problem is None:
+        pytest.skip(f"{spec.name} declines {plat.name}")
+
+    exact = solve_collective(problem, collective=spec.name, backend="exact")
+    revised = solve_collective(problem, collective=spec.name,
+                               backend="revised", cache=False)
+    assert revised.exact
+    assert revised.throughput == exact.throughput
+    assert revised.verify() == []
+    if revised.lp_solution is not None:  # composites carry no single LP
+        stats = revised.lp_solution.stats
+        assert stats is not None and stats["path"] in (
+            "cold", "float-primal", "float-dual", "warm-primal", "warm-dual")
+
+
 def test_every_registered_collective_participates():
     """The matrix really covers the whole registry (the historical seven
     plus any future registration implementing ``conformance_problem``)."""

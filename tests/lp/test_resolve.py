@@ -177,14 +177,57 @@ class TestReplan:
         assert report.solution.verify() == []
 
 
+class TestDualResolve:
+    def test_tightening_enters_the_dual_simplex(self):
+        # above the crash threshold a tightening delta must re-solve via
+        # dual pivots from the old basis (revised engine), not a phase-1
+        # repair — and still match the cold optimum bit-exactly
+        g = ring(24, cost=1)
+        nodes = g.compute_nodes()
+        problem = ScatterProblem(g, nodes[0], nodes[1:])
+        sol = solve_collective(problem, backend="exact", cache=False)
+        assert len(sol.lp_solution.basis_labels) >= WARM_BASIS_MIN_LABELS
+        report = replan(sol, (LinkDegradation(nodes[1], nodes[2], factor=2),),
+                        compare=True)
+        assert report.warm
+        stats = report.solution.lp_solution.stats
+        assert stats is not None and stats["path"] == "warm-dual"
+        assert report.throughput == report.cold_solution.throughput
+        assert report.solution.verify() == []
+
+    def test_loosening_stays_primal(self):
+        # a speed-up keeps the old vertex primal feasible: no dual entry
+        g = ring(24, cost=1)
+        nodes = g.compute_nodes()
+        problem = ScatterProblem(g, nodes[0], nodes[1:])
+        sol = solve_collective(problem, backend="exact", cache=False)
+        report = replan(sol, (LinkDegradation(nodes[1], nodes[2],
+                                              factor=Fraction(1, 2)),),
+                        compare=True)
+        stats = report.solution.lp_solution.stats
+        if stats is not None:  # tableau engine reports no stats
+            assert not stats["path"].endswith("-dual")
+        assert report.throughput == report.cold_solution.throughput
+
+
 class TestWarmThreshold:
-    def test_paper_figures_sit_below_the_crash_threshold(self):
-        # fig9's basis is ~108 labels: the crash would cost about a cold
-        # solve, so replan takes the incremental-LP path without it
-        sol = solve_collective(_fig9_scatter(), backend="exact", cache=False)
+    def test_toy_platforms_sit_below_the_crash_threshold(self):
+        # a 4-node scatter basis is a couple dozen labels: the exact-LU
+        # crash setup would cost more than the cold tableau solve, so
+        # replan takes the incremental-LP path without it
+        g = complete(4)
+        nodes = g.nodes()
+        sol = solve_collective(ScatterProblem(g, nodes[0], nodes[1:]),
+                               backend="exact", cache=False)
         basis = sol.lp_solution.basis_labels
         assert basis is not None
         assert len(basis) < WARM_BASIS_MIN_LABELS
+
+    def test_fig9_sits_above(self):
+        # fig9 scatter (~108 labels) clears the re-measured floor: its
+        # tightening replans crash the old basis into the dual simplex
+        sol = solve_collective(_fig9_scatter(), backend="exact", cache=False)
+        assert len(sol.lp_solution.basis_labels) >= WARM_BASIS_MIN_LABELS
 
     def test_x20_tier_sits_above(self):
         g = heterogenize(random_connected(20, extra_edges=24, seed=5), 9)

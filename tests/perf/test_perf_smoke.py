@@ -15,9 +15,16 @@ its recorded latency on the paper-figure rungs, and must beat a cold
 solve by ≥2× (the <0.5× acceptance bar) on the 20-node scatter rung
 where the basis is big enough for the crash to pay off.
 
+Also guards the PR 7 revised-simplex scale tiers against the committed
+``BENCH_PR7.json``: the 8-host fig9 pipelined all-reduce (17k raw vars,
+auto-dispatched to the LU-factorized revised engine) and the 128-host
+ring scatter must stay within 2× of their recorded end-to-end timings
+with exact optima pinned.
+
 Regenerate the baselines with ``PYTHONPATH=src python
-benchmarks/perf_report.py`` (``--replan`` for BENCH_PR6.json) after an
-intentional perf change — or on a new machine.
+benchmarks/perf_report.py`` (``--replan`` for BENCH_PR6.json,
+``--revised`` for BENCH_PR7.json) after an intentional perf change — or
+on a new machine.
 """
 
 import json
@@ -169,6 +176,45 @@ def test_replan_latency_within_2x_of_baseline(case):
         f"{case} replan regressed: {elapsed:.3f}s vs baseline "
         f"{base['replan_s']:.3f}s (budget {budget:.3f}s) — if intentional, "
         f"regenerate BENCH_PR6.json via benchmarks/perf_report.py --replan")
+
+
+REVISED_PATH = REPO_ROOT / "BENCH_PR7.json"
+
+#: Exact rational optima pinned for the PR 7 revised-simplex tiers.
+REVISED_EXPECTED = {
+    "fig9_8host_allreduce_pipelined": Fraction(2, 81),
+    "ring128_scatter": Fraction(1, 127),
+}
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("case", ["fig9_8host_allreduce_pipelined",
+                                  "ring128_scatter"])
+def test_revised_tier_within_2x_of_baseline(case):
+    """PR 7 scale rungs: the LU-factorized revised simplex must keep the
+    8-host fig9 pipelined all-reduce (17k raw vars, auto-dispatch) and
+    the 128-host ring scatter inside 2x of their committed end-to-end
+    timings, with the exact rational optimum pinned and the solution
+    verifying clean.  These LPs sit far past the old tableau limit, so
+    any regression here means the revised path itself broke."""
+    if not REVISED_PATH.exists():
+        pytest.skip("no BENCH_PR7.json baseline; run "
+                    "benchmarks/perf_report.py --revised")
+    base = json.loads(REVISED_PATH.read_text())["revised_cases"][case]
+
+    solve = perf_report._revised_cases()[case]
+    t0 = time.perf_counter()
+    sol = solve()
+    elapsed = time.perf_counter() - t0
+
+    assert sol.exact
+    assert sol.throughput == REVISED_EXPECTED[case]
+    assert sol.verify() == []
+    budget = (2.0 * base["solve_s"] + NOISE_CUSHION_S) * _budget_factor()
+    assert elapsed <= budget, (
+        f"{case} revised tier regressed: {elapsed:.3f}s vs baseline "
+        f"{base['solve_s']:.3f}s (budget {budget:.3f}s) — if intentional, "
+        f"regenerate BENCH_PR7.json via benchmarks/perf_report.py --revised")
 
 
 @pytest.mark.perf_smoke

@@ -134,6 +134,16 @@ class TestDemoCommand:
         assert "Reduce-scatter" in out and "block 0" in out
         assert "period =" in out
 
+    def test_broadcast(self, capsys):
+        assert main(["demo", "broadcast"]) == 0
+        out = capsys.readouterr().out
+        assert "TP = 7/12" in out and "arborescence" in out
+
+    def test_all_gather(self, capsys):
+        assert main(["demo", "all-gather"]) == 0
+        out = capsys.readouterr().out
+        assert "All-gather" in out and "period =" in out
+
     def test_unknown_demo_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["demo", "fig99"])
@@ -141,6 +151,38 @@ class TestDemoCommand:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLpStatsFlag:
+    def test_revised_backend_prints_counters(self, plat_file, capsys):
+        rc = main(["scatter", "--platform", plat_file, "--source", "Ps",
+                   "--targets", "P0,P1", "--backend", "revised",
+                   "--lp-stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "solver stats: revised-simplex" in out
+        assert "pivots:" in out and "refactorization" in out
+
+    def test_tableau_backend_reports_none(self, plat_file, capsys):
+        rc = main(["scatter", "--platform", plat_file, "--source", "Ps",
+                   "--targets", "P0,P1", "--backend", "tableau",
+                   "--lp-stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "none recorded (backend exact-simplex)" in out
+
+    def test_composite_prints_per_stage(self, tmp_path, capsys):
+        from repro.platform.examples import figure6_platform
+
+        path = str(tmp_path / "tri.json")
+        save_platform(figure6_platform(), path)
+        rc = main(["all-reduce", "--platform", path,
+                   "--participants", "0,1,2", "--backend", "revised",
+                   "--lp-stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stage 0 (reduce-scatter)" in out
+        assert "stage 1 (all-gather)" in out
 
 
 class TestCacheCommand:
