@@ -53,6 +53,16 @@ REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 PR1_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 REPLAN_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 REVISED_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+COLGEN_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+#: End-to-end auto-dispatch timings of the colgen tiers *before* colgen
+#: existed (the revised engine took them), measured on the machine that
+#: produced the committed ``BENCH_PR7.json``.  Used as the fallback
+#: "before" when that file is absent.
+RECORDED_PR7_SECONDS = {
+    "fig9_8host_allreduce_pipelined": 7.4324,
+    "ring128_scatter": 19.2339,
+}
 
 #: PR 1-solver timings for cases that did not exist in ``BENCH_PR1.json``,
 #: measured once on the machine that produced the committed baseline.
@@ -221,10 +231,12 @@ def _revised_cases() -> Dict[str, Callable[[], object]]:
     The PR 7 scale tiers: LPs past the old ``EXACT_VAR_LIMIT = 5000``
     that the tableau engine cannot touch (its dense fraction-free rows
     blow up quadratically), solved exactly by the LU-factorized revised
-    simplex with the float-assisted crash.  ``fig9_8host`` goes through
-    plain auto-dispatch — 17k raw variables route to the revised engine
-    with no backend hint — and is the acceptance rung: its rational
-    throughput must match HiGHS in float and verify clean.
+    simplex with the float-assisted crash.  ``fig9_8host`` pins
+    ``backend="revised"`` explicitly since PR 8: plain auto-dispatch now
+    routes this LP to column generation (the BENCH_PR8 tier), and this
+    record keeps timing the revised engine itself — it doubles as the
+    "before" side of the colgen speedup.  Its rational throughput must
+    match HiGHS in float and verify clean.
     """
     from repro.collectives import solve_collective
     from repro.core.allreduce import AllReduceProblem
@@ -234,7 +246,7 @@ def _revised_cases() -> Dict[str, Callable[[], object]]:
                                    figure9_participants(), msg_size=10,
                                    task_work=10)
         return solve_collective(problem, collective="all-reduce",
-                                backend="auto", mode="pipelined",
+                                backend="revised", mode="pipelined",
                                 cache=False)
 
     def ring128_scatter():
@@ -281,7 +293,9 @@ def bench_revised(name: str, case: Callable[[], object]) -> Dict[str, object]:
     }
     if stats:
         entry.update({
-            "vars": stats.get("basis_m"),
+            "vars_raw": stats.get("vars_raw"),
+            "vars_presolved": stats.get("vars_presolved"),
+            "basis_m": stats.get("basis_m"),
             "path": stats.get("path"),
             "pivots": stats.get("pivots"),
             "dual_pivots": stats.get("dual_pivots"),
@@ -310,6 +324,132 @@ def run_revised() -> Dict[str, object]:
 
 def write_revised_report(path: Path = REVISED_PATH) -> Dict[str, object]:
     report = run_revised()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _colgen_cases() -> Dict[str, Callable[[], object]]:
+    """name -> () -> solved collective, auto-routed to column generation.
+
+    The PR 8 tiers: every case runs plain ``backend="auto"`` with no
+    hint — the presolved model sits past ``COLGEN_VAR_LIMIT`` and the
+    raw model decomposes into per-commodity blocks, so dispatch routes
+    it to the Dantzig-Wolfe column-generation loop.  ``fig9_8host`` and
+    ``ring128`` are the PR 7 rungs re-run on the new route (their
+    "before" is the revised-engine timing from ``BENCH_PR7.json``);
+    ``fattree6_scatter`` is the first datacenter-scale tier the exact
+    path reaches at all — a k=6 fat-tree (54 heterogeneous hosts behind
+    45 switches, 17k raw vars) where all 53 commodities price by
+    Dijkstra shortest path against the master's rational duals.
+    """
+    from repro.collectives import solve_collective
+    from repro.core.allreduce import AllReduceProblem
+    from repro.platform.generators import fat_tree
+
+    def fig9_8host():
+        problem = AllReduceProblem(figure9_platform(),
+                                   figure9_participants(), msg_size=10,
+                                   task_work=10)
+        return solve_collective(problem, collective="all-reduce",
+                                backend="auto", mode="pipelined",
+                                cache=False)
+
+    def ring128_scatter():
+        g = ring(128, cost=1)
+        nodes = g.nodes()
+        return solve_collective(ScatterProblem(g, nodes[0], nodes[1:]),
+                                backend="auto", cache=False)
+
+    def fattree6_scatter():
+        g = fat_tree(6)
+        hosts = g.compute_nodes()
+        return solve_collective(ScatterProblem(g, hosts[0], hosts[1:]),
+                                backend="auto", cache=False)
+
+    return {
+        "fig9_8host_allreduce_pipelined": fig9_8host,
+        "ring128_scatter": ring128_scatter,
+        "fattree6_scatter": fattree6_scatter,
+    }
+
+
+def bench_colgen(name: str, case: Callable[[], object]) -> Dict[str, object]:
+    """Time one colgen tier end to end and cross-check HiGHS."""
+    from repro.collectives import solve_collective
+
+    t0 = time.perf_counter()
+    sol = case()
+    solve_s = time.perf_counter() - t0
+    assert sol.exact, f"{name}: colgen tier came back inexact"
+    assert sol.verify() == [], f"{name}: solution fails verification"
+    stats = sol.lp_solution.stats if sol.lp_solution is not None else {}
+    assert stats.get("engine") == "colgen", \
+        f"{name}: auto-dispatch did not route to colgen"
+
+    mode = getattr(sol, "mode", "")
+    highs = solve_collective(sol.problem, collective=sol.collective,
+                             backend="highs", cache=False,
+                             **({"mode": mode} if mode else {}))
+    # HiGHS stops at float tolerances, so on 17k-var models its optimum
+    # can sit ~1e-6 below the exact rational one — compare relatively
+    exact_f, highs_f = float(sol.throughput), float(highs.throughput)
+    assert abs(exact_f - highs_f) <= 1e-4 * max(abs(exact_f), 1e-9), \
+        f"{name}: exact and HiGHS optima disagree"
+
+    entry: Dict[str, object] = {
+        "solve_s": round(solve_s, 5),
+        "throughput": str(sol.throughput),
+        "highs_agrees": True,
+        "vars_raw": stats.get("vars_raw"),
+        "vars_presolved": stats.get("vars_presolved"),
+        "blocks": stats.get("blocks"),
+        "path_blocks": stats.get("path_blocks"),
+        "rounds": stats.get("rounds"),
+        "columns": stats.get("columns"),
+        "columns_priced": stats.get("columns_priced"),
+        "jobs": stats.get("jobs"),
+        "parallel_speedup": round(stats.get("parallel_speedup") or 0, 3),
+        "master_s": round(stats.get("master_s") or 0, 5),
+        "pricing_s": round(stats.get("pricing_s") or 0, 5),
+    }
+
+    before: Optional[float] = None
+    if REVISED_PATH.exists():
+        pr7 = json.loads(REVISED_PATH.read_text()).get("revised_cases", {})
+        if name in pr7:
+            before = float(pr7[name]["solve_s"])
+    if before is None and name in RECORDED_PR7_SECONDS:
+        before = RECORDED_PR7_SECONDS[name]
+        entry["recorded"] = True
+    if before is not None:
+        entry["before_solve_s"] = before
+        entry["speedup_x"] = round(before / max(solve_s, 1e-9), 2)
+    return entry
+
+
+def run_colgen() -> Dict[str, object]:
+    cases = {name: bench_colgen(name, case)
+             for name, case in _colgen_cases().items()}
+    return {
+        "meta": {
+            "pr": 8,
+            "description": "Dantzig-Wolfe column generation over commodity "
+                           "blocks (rational restricted master on the shared "
+                           "capacity rows, Dijkstra/LP pricing against exact "
+                           "duals) reached through plain auto-dispatch; "
+                           "before = the same tier on the PR 7 revised "
+                           "engine (BENCH_PR7.json); each tier solved "
+                           "exactly, verified, and cross-checked against "
+                           "HiGHS in float",
+            "python": _platform.python_version(),
+            "machine": _platform.machine(),
+        },
+        "colgen_cases": cases,
+    }
+
+
+def write_colgen_report(path: Path = COLGEN_PATH) -> Dict[str, object]:
+    report = run_colgen()
     path.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -411,11 +551,11 @@ def bench_case(name: str, build: Callable[[], LinearProgram],
     postsolve_s = time.perf_counter() - t0
 
     entry: Dict[str, object] = {
-        "vars": lp.num_vars(),
+        "vars_raw": lp.num_vars(),
         "constraints": lp.num_constraints(),
         "build_s": round(build_s, 5),
         "presolve_s": round(presolve_s, 5),
-        "presolved_vars": pr.lp.num_vars(),
+        "vars_presolved": pr.lp.num_vars(),
         "presolved_rows": pr.lp.num_constraints(),
         "exact_solve_s": round(presolve_s + solve_s + postsolve_s, 5),
         "iterations": sol.iterations,
@@ -448,16 +588,38 @@ def bench_model_building() -> Dict[str, object]:
     }
 
 
+def _var_counts(sol) -> Dict[str, int]:
+    """Raw vs presolved var counts of a solved collective's LP(s).
+
+    Reads the counts :func:`repro.lp.dispatch.solve` stamps into every
+    ``LPSolution.stats``; a sequential composite has no joint LP, so its
+    stage models are summed instead.
+    """
+    lp_sol = getattr(sol, "lp_solution", None)
+    if lp_sol is not None and lp_sol.stats:
+        return {"vars_raw": int(lp_sol.stats.get("vars_raw") or 0),
+                "vars_presolved":
+                    int(lp_sol.stats.get("vars_presolved") or 0)}
+    raw = pres = 0
+    for sub in getattr(sol, "stage_solutions", None) or ():
+        c = _var_counts(sub)
+        raw += c["vars_raw"]
+        pres += c["vars_presolved"]
+    return {"vars_raw": raw, "vars_presolved": pres}
+
+
 def bench_composite(name: str, solve: Callable[[], object]) -> Dict[str, object]:
     """Time a composed collective's end-to-end exact solve (cold)."""
     t0 = time.perf_counter()
     sol = solve()
     total_s = time.perf_counter() - t0
-    return {
+    entry = {
         "solve_s": round(total_s, 5),
         "throughput": str(sol.throughput),
         "stages": len(sol.stage_solutions or ()),
     }
+    entry.update(_var_counts(sol))
+    return entry
 
 
 def run(only: Optional[set] = None) -> Dict[str, object]:
@@ -508,7 +670,18 @@ def main() -> None:
     ap.add_argument("--revised", action="store_true",
                     help="benchmark the PR 7 revised-simplex scale tiers "
                          "and write BENCH_PR7.json")
+    ap.add_argument("--colgen", action="store_true",
+                    help="benchmark the PR 8 column-generation tiers "
+                         "and write BENCH_PR8.json")
     args = ap.parse_args()
+    if args.colgen:
+        report = write_colgen_report()
+        for name, c in report["colgen_cases"].items():
+            speed = f"  ({c['speedup_x']}x)" if "speedup_x" in c else ""
+            print(f"{name:>32}: {c['solve_s']:>8}s  TP {c['throughput']:>8}"
+                  f"  {c['rounds']} rounds  {c['columns']} cols{speed}")
+        print(f"wrote {COLGEN_PATH}")
+        return
     if args.revised:
         report = write_revised_report()
         for name, c in report["revised_cases"].items():
@@ -529,7 +702,7 @@ def main() -> None:
     for name, c in report["cases"].items():
         before = c.get("before_exact_solve_s", "-")
         speed = f"  ({c['speedup_x']}x)" if "speedup_x" in c else ""
-        print(f"{name:>20}: {c['vars']:>5} vars -> {c['presolved_vars']:>5}"
+        print(f"{name:>20}: {c['vars_raw']:>5} vars -> {c['vars_presolved']:>5}"
               f"  pr1 {before:>8}s  now {c['exact_solve_s']:>8}s{speed}")
     for name, c in report["composite_cases"].items():
         print(f"{name:>20}: {c['stages']:>2} stages  TP {c['throughput']:>8}"

@@ -73,7 +73,12 @@ def _add_solve_subcommand(sub, spec) -> None:
     sp.add_argument("--platform", required=True, help="platform JSON file")
     spec.add_arguments(sp)
     sp.add_argument("--backend", default="auto",
-                    choices=["auto", "exact", "tableau", "revised", "highs"])
+                    choices=["auto", "exact", "tableau", "revised", "highs",
+                             "colgen"])
+    sp.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="pricing worker processes for the colgen backend "
+                         "(default: REPRO_JOBS or the CPU count; results "
+                         "are identical for any value)")
     sp.add_argument("--lp-stats", action="store_true",
                     help="print solver statistics (pivot counts, LU "
                          "refactorizations, crash path, per-phase timings) "
@@ -107,6 +112,7 @@ def _cmd_solve(spec, args) -> int:
     sol = solve_collective(problem, collective=spec.name,
                            backend=args.backend,
                            mode=getattr(args, "mode", None),
+                           jobs=getattr(args, "jobs", None),
                            on_infeasible=args.on_infeasible)
     print(f"platform {g.name}: TP = {sol.throughput}"
           f"{spec.tp_suffix(problem, sol)}")
@@ -148,6 +154,26 @@ def _print_lp_stats(sol) -> None:
         if not stats:
             backend = lps.backend if lps is not None else "?"
             print(f"{lead}none recorded (backend {backend})")
+            continue
+        if stats.get("engine") == "colgen":
+            print(f"{lead}{lps.backend}, {stats['blocks']} block(s) "
+                  f"({stats['path_blocks']} path-priced), "
+                  f"master {stats['master_rows']} rows")
+            print(f"    rounds: {stats['rounds']}, columns "
+                  f"{stats['columns']} ({stats['seed_columns']} seeded), "
+                  f"priced {stats['columns_priced']}, "
+                  f"skipped {stats['pricing_skipped']}")
+            print(f"    time: master {stats['master_s']:.3f}s "
+                  f"({stats['master_pivots']} pivots), pricing "
+                  f"{stats['pricing_s']:.3f}s on {stats['jobs']} job(s) "
+                  f"(speedup {stats['parallel_speedup']:.2f}x)")
+            continue
+        if "path" not in stats:
+            # tableau/HiGHS solves carry only the dispatch-stamped
+            # variable counts, not revised-engine counters
+            print(f"{lead}{lps.backend}, {stats['vars_raw']} vars "
+                  f"({stats['vars_presolved']} after presolve); "
+                  f"no engine counters recorded")
             continue
         print(f"{lead}{lps.backend}, path {stats['path']}, "
               f"basis {stats['basis_m']} rows")

@@ -201,6 +201,7 @@ class CollectiveSpec:
         from repro.lp import solve as lp_solve
 
         lp = self.build_lp(problem)
+        solve_kwargs.setdefault("pricing", self.pricing_graphs(problem))
         sol = lp_solve(lp, backend=backend, **solve_kwargs)
         if not sol.optimal:
             raise RuntimeError(f"LP solve failed: {sol.status}")
@@ -224,6 +225,37 @@ class CollectiveSpec:
         """``(source, sink)`` for routed commodities, ``None`` for
         interval-style commodities (many producers/consumers)."""
         return None
+
+    def pricing_graphs(self, problem) -> Optional[tuple]:
+        """Per-commodity pricing graphs for Dantzig-Wolfe column
+        generation (:mod:`repro.lp.colgen`).
+
+        Each descriptor is ``{"source", "sink", "arcs"}`` with arcs as
+        ``(i, j, variable name)``; the colgen pricer runs exact-dual
+        shortest paths on them instead of solving a pricing LP.  The
+        default covers every *routed* commodity
+        (:meth:`commodity_endpoints` not ``None``) with the commodity's
+        rate variable on each platform edge — arc names absent from the
+        LP are ignored by the matcher, and graphs that do not line up
+        with a detected block simply leave it on the LP pricer, so the
+        default is safe for any spec.  Returns ``None`` when no
+        commodity is routed (colgen then prices all blocks by LP).
+        """
+        try:
+            commodities = self.commodities(problem)
+        except NotImplementedError:
+            return None
+        edges = [(e.src, e.dst) for e in problem.platform.edges()]
+        graphs = []
+        for c in commodities:
+            ep = self.commodity_endpoints(problem, c)
+            if ep is None:
+                continue
+            graphs.append({
+                "source": ep[0], "sink": ep[1],
+                "arcs": tuple((i, j, self.commodity_var(problem, c, i, j))
+                              for (i, j) in edges)})
+        return tuple(graphs) if graphs else None
 
     def send_key(self, commodity, i: NodeId, j: NodeId) -> tuple:
         """Key of this commodity-on-edge rate in ``solution.send``."""
@@ -634,6 +666,19 @@ class CompositeCollectiveSpec(CollectiveSpec):
         self._stage_memo = (problem, resolved)
         return resolved
 
+    def pricing_graphs(self, problem) -> Optional[tuple]:
+        """Joint-LP pricing graphs: every stage's own graphs with the
+        stage's ``s{k}:`` variable-name prefix applied (``TP`` never
+        appears in arc names, so the prefix map is total)."""
+        graphs = []
+        for k, (spec, sub) in enumerate(self.stage_specs(problem)):
+            for g in spec.pricing_graphs(sub) or ():
+                graphs.append({
+                    "source": g["source"], "sink": g["sink"],
+                    "arcs": tuple((i, j, f"s{k}:{vname}")
+                                  for (i, j, vname) in g["arcs"])})
+        return tuple(graphs) if graphs else None
+
     def _stage_lps(self, problem) -> List[LinearProgram]:
         """Stage LPs, built once per problem instance — the joint solve
         needs them twice (composition, then per-stage extraction)."""
@@ -664,6 +709,7 @@ class CompositeCollectiveSpec(CollectiveSpec):
             from repro.lp import solve as lp_solve
 
             lp = self.build_lp(problem, mode=mode)
+            solve_kwargs.setdefault("pricing", self.pricing_graphs(problem))
             sol = lp_solve(lp, backend=backend, **solve_kwargs)
             if not sol.optimal:
                 raise RuntimeError(f"LP solve failed: {sol.status}")

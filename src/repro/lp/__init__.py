@@ -32,6 +32,11 @@ provides the substrate from scratch:
   over commodity-block partial sweeps, a perturbed floating-point crash
   that lands on (or next to) the optimal basis, and a **dual simplex**
   entry from a recorded basis for tightened re-solves.
+- :mod:`repro.lp.colgen` — Dantzig-Wolfe **column generation** over the
+  LPs' commodity-block structure: a restricted master holding only the
+  shared capacity rows over tree/path columns, priced per commodity by
+  exact-dual shortest paths (or small pricing LPs), optionally across a
+  process pool — deterministic regardless of worker count.
 - :mod:`repro.lp.dense_simplex` — the original dense ``Fraction`` tableau,
   kept as a slow-but-obviously-correct oracle for differential tests.
 - :mod:`repro.lp.highs` — a floating-point backend on
@@ -53,7 +58,11 @@ fraction-free tableau serves models up to
 :data:`repro.lp.dispatch.TABLEAU_VAR_LIMIT` (5000) presolved variables
 plus every ``canonical=True`` solve, and the revised simplex serves
 everything larger and every ``dual=True`` re-solve; both produce
-bit-identical objectives (enforced by the differential suite).
+bit-identical objectives (enforced by the differential suite).  Models
+above :data:`repro.lp.dispatch.COLGEN_VAR_LIMIT` (6000) presolved
+variables that decompose into commodity blocks route to column
+generation (:mod:`repro.lp.colgen`) first — same exact optima, masters
+orders of magnitude smaller.
 Identical models are memoized
 under a canonical hash (:func:`repro.lp.dispatch.canonical_key`), so the
 pipeline's repeated ``solve_reduce`` calls cost one simplex run.  Exact
@@ -71,6 +80,7 @@ from repro.lp.revised_simplex import RevisedSimplexSolver
 from repro.lp.dense_simplex import DenseSimplexSolver
 from repro.lp.highs import HighsSolver
 from repro.lp.rationalize import rationalize_solution
+from repro.lp.colgen import solve_colgen
 from repro.lp.dispatch import canonical_key, clear_cache, solve
 
 __all__ = [
@@ -86,6 +96,7 @@ __all__ = [
     "DenseSimplexSolver",
     "HighsSolver",
     "rationalize_solution",
+    "solve_colgen",
     "canonical_key",
     "clear_cache",
     "solve",

@@ -27,6 +27,15 @@ a performance decision: below ~5000 variables the dense tableau's cheap
 pivots win; above it the revised path's sparse LU and crash basis are the
 only thing that finishes.
 
+A third exact route sits on top for the largest collective LPs:
+Dantzig-Wolfe **column generation** (:mod:`repro.lp.colgen`,
+``backend="colgen"``).  Under ``"auto"``, rational models above
+:data:`COLGEN_VAR_LIMIT` presolved variables whose raw form decomposes
+into >= 2 commodity blocks route there instead of the monolithic
+revised solve; the restricted masters themselves reuse the revised
+engine.  Pricing parallelism (``jobs``) never changes the returned
+solution, so it is not part of the cache key.
+
 Three layers of reuse sit in front of the solvers:
 
 - **Memo cache.**  Solutions are cached under a canonical hash of the
@@ -59,6 +68,7 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
+from repro.lp import colgen as colgen_mod
 from repro.lp import diskcache
 from repro.lp.exact_simplex import ExactSimplexSolver
 from repro.lp.highs import HighsSolver
@@ -84,6 +94,16 @@ EXACT_VAR_LIMIT = 50000
 #: and it is the reference ("oracle") implementation the differential
 #: suite compares against; ``canonical=True`` solves always use it.
 TABLEAU_VAR_LIMIT = 5000
+
+#: Above this many presolved variables, ``backend="auto"`` tries the
+#: Dantzig-Wolfe column generation (:mod:`repro.lp.colgen`) before the
+#: monolithic revised simplex, provided the LP decomposes into at least
+#: two commodity blocks tied only by shared capacity rows.  The
+#: threshold sits above the tableau limit — colgen's restricted masters
+#: carry overhead per round that only pays off once the raw LP is large —
+#: and below the fig9 8-host pipelined composite (~6.5k presolved vars),
+#: the first model where the monolithic solve takes whole seconds.
+COLGEN_VAR_LIMIT = 6000
 
 #: Max entries kept in the solve memo cache (FIFO eviction).
 CACHE_SIZE = 128
@@ -167,7 +187,9 @@ def solve(lp: LinearProgram, backend: str = "auto",
           canonical: bool = False,
           cache_tag: Optional[str] = None,
           presolve: bool = True,
-          dual: bool = False) -> LPSolution:
+          dual: bool = False,
+          pricing: Optional[Tuple] = None,
+          jobs: Optional[int] = None) -> LPSolution:
     """Solve ``lp`` with the requested backend.
 
     Parameters
@@ -178,9 +200,27 @@ def solve(lp: LinearProgram, backend: str = "auto",
         variables, the revised engine above it;
         ``"tableau"`` / ``"revised"`` — force a specific exact engine
         (differential tests and benchmarks);
+        ``"colgen"`` — Dantzig-Wolfe column generation
+        (:func:`repro.lp.colgen.solve_colgen`; requires rational data,
+        falls back to a direct exact solve when the LP has no block
+        structure);
         ``"highs"`` — scipy/HiGHS float solve;
         ``"auto"`` — exact when the LP is rational and (after presolve)
         has at most ``exact_var_limit`` variables, HiGHS otherwise.
+        Within the exact window, models above :data:`COLGEN_VAR_LIMIT`
+        presolved variables that decompose into >= 2 commodity blocks
+        route to column generation instead of the monolithic revised
+        simplex.
+    pricing:
+        Optional tuple of commodity pricing-graph descriptors (see
+        :func:`repro.lp.colgen.solve_colgen`) enabling the shortest-path
+        pricer; collective specs supply it via their
+        ``pricing_graphs`` hook.  Only consulted on the colgen routes.
+    jobs:
+        Worker processes for parallel pricing (default: ``REPRO_JOBS``
+        env var, else serial).  Never affects the returned solution —
+        column admission is ordered by a stable key — so it is not part
+        of the cache key.
     dual:
         Exact path only: enter the dual simplex from the crashed basis
         (``warm_basis`` is the intended companion — the tightened-
@@ -229,19 +269,23 @@ def solve(lp: LinearProgram, backend: str = "auto",
         is identical with presolve on or off.
     """
     global _disk_hits
-    if backend not in ("exact", "tableau", "revised", "highs", "auto"):
+    if backend not in ("exact", "tableau", "revised", "highs", "auto",
+                       "colgen"):
         raise ValueError(f"unknown backend {backend!r}")
     if dual and canonical:
         raise ValueError("dual=True needs the revised engine, which has "
                          "no canonical mode")
-    if dual and backend in ("tableau", "highs"):
+    if dual and backend in ("tableau", "highs", "colgen"):
         raise ValueError(f"dual=True is incompatible with backend="
                          f"{backend!r}")
-    if canonical and backend == "revised":
+    if canonical and backend in ("revised", "colgen"):
         raise ValueError("canonical=True is tableau-only; use "
                          "backend='exact' or 'tableau'")
     rational = lp.is_rational()
-    use_presolve = presolve and rational
+    # colgen detects block structure on the raw model and expands its
+    # column optimum back to raw edge flows itself, so it owns the whole
+    # transform pipeline — no presolve/postsolve around it
+    use_presolve = presolve and rational and backend != "colgen"
 
     if warm_basis is not None and cache_tag is None:
         cache_tag = "warm"  # a warm vertex must not shadow the cold one
@@ -252,9 +296,14 @@ def solve(lp: LinearProgram, backend: str = "auto",
         # cache hit never has to re-derive it (which would require
         # presolving first)
         tag = f"t{cache_tag};" if cache_tag is not None else ""
+        # pricing graphs can steer colgen to a different optimal vertex
+        # (path columns vs generic LP columns), so their presence splits
+        # the key on the colgen-capable routes; ``jobs`` never does
+        gtag = ("g;" if pricing is not None
+                and backend in ("auto", "colgen") else "")
         key = (f"{backend};{exact_var_limit};{TABLEAU_VAR_LIMIT};"
                f"d{int(dual)};{rationalize};{int(canonical)};"
-               f"p{int(use_presolve)};{tag}{canonical_key(lp)}")
+               f"p{int(use_presolve)};{gtag}{tag}{canonical_key(lp)}")
         hit = _memo.get(key)
         if hit is not None:
             _memo.move_to_end(key)
@@ -280,7 +329,23 @@ def solve(lp: LinearProgram, backend: str = "auto",
         backend == "auto" and rational
         and model.num_vars() <= exact_var_limit)
 
-    if exact_route:
+    colgen_route = backend == "colgen"
+    colgen_struct = None
+    if (backend == "auto" and exact_route and not dual and not canonical
+            and model.num_vars() > COLGEN_VAR_LIMIT):
+        # structure detection runs on the *raw* model: colgen bypasses
+        # presolve entirely and returns raw edge-flow values
+        colgen_struct = colgen_mod.detect(lp, pricing=pricing)
+        if colgen_struct is not None and len(colgen_struct.blocks) >= 2:
+            colgen_route = True
+        else:
+            colgen_struct = None
+
+    if colgen_route:
+        sol = colgen_mod.solve_colgen(lp, pricing=pricing, jobs=jobs,
+                                      structure=colgen_struct)
+        pres = None  # solution is already in raw-variable space
+    elif exact_route:
         if backend in ("tableau", "revised"):
             engine = backend
         elif canonical or (model.num_vars() <= TABLEAU_VAR_LIMIT
@@ -310,6 +375,16 @@ def solve(lp: LinearProgram, backend: str = "auto",
             # infeasible/unbounded transfer directly (the reductions are
             # status-preserving); errors keep their diagnostics
             sol = replace(sol, lp=lp)
+
+    # every dispatched solve records both sides of the raw-vs-presolved
+    # split, so downstream bench records are unambiguous about which
+    # model a var count refers to (they coincide when presolve was
+    # skipped; colgen routing decisions read the presolved count)
+    counts = {"vars_raw": lp.num_vars(), "vars_presolved": model.num_vars()}
+    if sol.stats is None:
+        sol = replace(sol, stats=counts)
+    else:
+        sol.stats.update(counts)
 
     if cache and key is not None and sol.optimal:
         # store without the model itself: the hit path re-attaches the

@@ -471,6 +471,7 @@ class _Core:
         bs: List[Fraction] = []
         tags: List[Label] = []
         rows_coefs: List[Dict[int, Fraction]] = []
+        self.row_flip: List[int] = []   # -1 when the row was negated below
         for ci, con in enumerate(lp.constraints):
             b = -Fraction(con.expr.constant)
             coefs: Dict[int, Fraction] = {}
@@ -480,14 +481,17 @@ class _Core:
                     coefs[j] = c
                     b -= c * lbs[j]
             sense = con.sense
+            flip = 1
             if b < 0:
                 coefs = {j: -c for j, c in coefs.items()}
                 b = -b
                 sense = {LE: GE, GE: LE, EQ: EQ}[sense]
+                flip = -1
             rows_coefs.append(coefs)
             senses.append(sense)
             bs.append(b)
             tags.append(("s", con.name or f"#c{ci}"))
+            self.row_flip.append(flip)
         for v in lp.variables:
             if v.ub is not None:
                 b = Fraction(v.ub) - lbs[v.index]
@@ -795,6 +799,32 @@ class _Core:
         self.dden = den
         self.weights = {}
         self.cands = []
+
+    def extract_duals(self) -> Dict[int, Fraction]:
+        """Constraint-row multipliers ``y`` of the current optimal basis.
+
+        One BTRAN of the phase-2 basic costs, mapped back through the
+        row normalization (the ``b < 0`` sign flips of ``__init__``) and
+        the internal min-form sign, so the returned convention is the
+        one documented on :attr:`repro.lp.solution.LPSolution.duals`:
+        for a maximization LP, ``sum_i y_i a_ij - c_j >= 0`` for every
+        column.  Multipliers of the synthetic upper-bound rows are
+        dropped (they price variable bounds, not constraints).
+        """
+        cost = self.cost_vec(2)
+        cb: SpVec = {}
+        for pos, c in enumerate(self.basis):
+            v = cost.get(c)
+            if v:
+                cb[pos] = v
+        y = self.btran(cb) if cb else {}
+        sgn = -1 if self.lp.sense_max else 1
+        out: Dict[int, Fraction] = {}
+        for ci, flip in enumerate(self.row_flip):
+            v = y.get(ci)
+            if v:
+                out[ci] = sgn * flip * v
+        return out
 
     def pivot_row_alpha(self, r: int) -> Tuple[Dict[int, int], int]:
         """Row ``r`` of ``B^{-1}N`` over the priceable nonbasic columns,
@@ -1143,8 +1173,16 @@ class RevisedSimplexSolver:
     # ------------------------------------------------------------------
     def solve(self, lp: LinearProgram,
               warm_basis: Optional[Sequence[Label]] = None,
-              dual: bool = False) -> LPSolution:
+              dual: bool = False,
+              want_duals: bool = False) -> LPSolution:
         """Solve ``lp`` exactly; optionally warm from a recorded basis.
+
+        ``want_duals=True`` additionally reports the exact constraint
+        multipliers of the optimal basis on the returned solution's
+        ``duals`` field (one extra BTRAN; see
+        :meth:`_Core.extract_duals` for the sign convention) — the
+        column-generation masters of :mod:`repro.lp.colgen` price
+        candidate columns against them.
 
         ``warm_basis`` is a tuple of stable name labels (the
         ``basis_labels`` of a previous :class:`LPSolution`); without
@@ -1256,14 +1294,15 @@ class RevisedSimplexSolver:
                            f"{core.iterations} pivots on {lp.name!r} "
                            f"({core.n} vars, {core.m} rows)")
             return sol
-        return self._done(core, lp, SolveStatus.OPTIMAL, path)
+        return self._done(core, lp, SolveStatus.OPTIMAL, path,
+                          want_duals=want_duals)
 
     def _run(self, core: _Core, phase: int) -> str:
         return core.primal(phase, self.max_iterations,
                            force_bland=self.pricing == "bland")
 
     def _done(self, core: _Core, lp: LinearProgram, status: SolveStatus,
-              path: str) -> LPSolution:
+              path: str, want_duals: bool = False) -> LPSolution:
         stats = dict(core.stats)
         stats["path"] = path
         if status is not SolveStatus.OPTIMAL:
@@ -1286,4 +1325,159 @@ class RevisedSimplexSolver:
         return LPSolution(SolveStatus.OPTIMAL, objective=objective,
                           values=values, backend="revised-simplex",
                           exact=True, lp=lp, iterations=core.iterations,
-                          basis_labels=labels, stats=stats)
+                          basis_labels=labels, stats=stats,
+                          duals=core.extract_duals() if want_duals else None)
+
+
+class MasterResult:
+    """Slim per-round answer of :class:`IncrementalColumnMaster`:
+    status, exact objective, duals keyed by constraint index, nonzero
+    variable/column values keyed by *name*, and the pivot count this
+    round took."""
+
+    __slots__ = ("status", "objective", "duals", "values", "pivots")
+
+    def __init__(self, status: SolveStatus,
+                 objective: Optional[Fraction] = None,
+                 duals: Optional[Dict[int, Fraction]] = None,
+                 values: Optional[Dict[str, Fraction]] = None,
+                 pivots: int = 0) -> None:
+        self.status = status
+        self.objective = objective
+        self.duals = duals or {}
+        self.values = values or {}
+        self.pivots = pivots
+
+    @property
+    def optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+
+class IncrementalColumnMaster:
+    """A column-generation master kept *hot* across pricing rounds.
+
+    The Dantzig-Wolfe loop of :mod:`repro.lp.colgen` re-solves one
+    master LP dozens of times, each round with a handful of new columns
+    over an unchanged row set.  A fresh :meth:`RevisedSimplexSolver.solve`
+    pays the dominant costs — basis crash and LU factorization — every
+    round just to replay one or two pivots.  This class keeps the
+    working core (basis, LU factors, eta file, Devex state) alive
+    between rounds: :meth:`add_and_resolve` splices the new columns
+    into the exact column file and the fraction-free integer rows
+    (rescaling a row's common denominator when a new coefficient widens
+    it), recomputes the phase-2 reduced costs, and continues the primal
+    from the current basis — which stays feasible, since new columns
+    enter nonbasic at zero.
+
+    Contract: added columns have objective coefficient 0, lower bound 0
+    and no upper bound — exactly the ray weights of a Dantzig-Wolfe
+    master whose objective lives on the shared master variables.  The
+    pivot sequence is deterministic, so the reached vertex is too.
+    """
+
+    def __init__(self, lp: LinearProgram,
+                 solver: Optional[RevisedSimplexSolver] = None) -> None:
+        self.lp = lp
+        self.solver = solver or RevisedSimplexSolver()
+        self.core: Optional[_Core] = None
+        self._col_names: Dict[int, str] = {}
+
+    # -- entry: one ordinary solve, then keep the basis ----------------
+    def solve_full(self) -> MasterResult:
+        """Solve the master from scratch (round 0 / fallback) and, when
+        optimal, rebuild a live core on its basis for later rounds."""
+        sol = self.solver.solve(self.lp, want_duals=True)
+        self.core = None
+        self._col_names = {}
+        if sol.status is not SolveStatus.OPTIMAL:
+            return MasterResult(sol.status)
+        core = _Core(self.lp, self.solver.refactor_interval)
+        core.crash_from_labels(sol.basis_labels)
+        if core.primal_feasible():
+            core.compute_d(2)
+            if all(v >= 0 for v in core.dnum.values()):
+                self.core = core
+        values = {self.lp.variables[j].name: v
+                  for j, v in sol.values.items() if v}
+        return MasterResult(SolveStatus.OPTIMAL, objective=sol.objective,
+                            duals=dict(sol.duals or {}), values=values,
+                            pivots=int((sol.stats or {}).get("pivots", 0)))
+
+    @property
+    def live(self) -> bool:
+        return self.core is not None
+
+    # -- incremental rounds --------------------------------------------
+    def add_and_resolve(
+            self, cols: Sequence[Tuple[str, Dict[int, Fraction]]],
+    ) -> Optional[MasterResult]:
+        """Splice ``(name, {constraint-index: coef})`` columns in and
+        re-optimize from the current basis.  Returns ``None`` when no
+        live core is available (caller falls back to a full solve)."""
+        core = self.core
+        if core is None:
+            return None
+        block: List[int] = []
+        for name, row_coefs in cols:
+            c = core.next_col
+            core.next_col += 1
+            core.n_priceable = core.next_col
+            vec: SpVec = {}
+            for ci, coef in row_coefs.items():
+                f = Fraction(coef)
+                if core.row_flip[ci] < 0:
+                    f = -f
+                if not f:
+                    continue
+                vec[ci] = f
+                den = core.row_den[ci]
+                fd = f.denominator
+                if fd != 1:
+                    s = fd // gcd(den, fd)
+                    if s > 1:       # widen the row's common denominator
+                        core.arows[ci] = [(j, a * s)
+                                          for j, a in core.arows[ci]]
+                        den = core.row_den[ci] = den * s
+                core.arows[ci].append((c, (f * den).numerator))
+            core.acols[c] = vec
+            core.labels[c] = ("v", name)
+            self._col_names[c] = name
+            block.append(c)
+        if block:
+            core.blocks.append(block)
+        return self.resolve()
+
+    def resolve(self) -> MasterResult:
+        """Phase-2 continuation from the current (feasible) basis."""
+        core = self.core
+        assert core is not None
+        piv0 = int(core.stats["pivots"])
+        core.compute_d(2)
+        status = core.primal(2, self.solver.max_iterations)
+        pivots = int(core.stats["pivots"]) - piv0
+        if status == "unbounded":
+            return MasterResult(SolveStatus.UNBOUNDED, pivots=pivots)
+        if status != "optimal":
+            self.core = None    # poisoned; caller re-solves from scratch
+            return MasterResult(SolveStatus.ERROR, pivots=pivots)
+        by_idx: Dict[int, Fraction] = {}
+        values: Dict[str, Fraction] = {}
+        basic_struct: Set[int] = set()
+        for pos, c in enumerate(core.basis):
+            x = core.x_b[pos]
+            if c < core.n:
+                basic_struct.add(c)
+                x = x + core.lbs[c]
+                if x:
+                    by_idx[c] = x
+                    values[self.lp.variables[c].name] = x
+            elif x and c in self._col_names:
+                values[self._col_names[c]] = x
+        for j in range(core.n):
+            if j not in basic_struct and core.lbs[j]:
+                by_idx[j] = core.lbs[j]
+                values[self.lp.variables[j].name] = core.lbs[j]
+        return MasterResult(SolveStatus.OPTIMAL,
+                            objective=self.lp.objective.evaluate(by_idx),
+                            duals=core.extract_duals(), values=values,
+                            pivots=pivots)

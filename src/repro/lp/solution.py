@@ -39,8 +39,23 @@ class LPSolution:
     phase, refactorizations, FTRAN/BTRAN solves, per-phase seconds and
     the solve path taken (``cold``, ``float-primal`` / ``float-dual``
     for the perturbed-float basis crash, ``warm-primal`` /
-    ``warm-dual`` from a recorded basis).  The ``--lp-stats`` CLI flag
-    prints it.
+    ``warm-dual`` from a recorded basis).  Solutions returned by
+    :func:`repro.lp.dispatch.solve` always carry ``vars_raw`` /
+    ``vars_presolved`` (the raw model size vs the presolved model the
+    routing decision saw — equal when presolve was skipped).  The
+    ``--lp-stats`` CLI flag prints it.
+
+    ``duals`` (revised engine, opt-in via ``want_duals=True``) maps the
+    *position* of each constraint in ``lp.constraints`` to its exact
+    rational row multiplier ``y_i`` at the optimum (zeros omitted).
+    Sign convention: for a maximization LP every variable satisfies
+    ``sum_i y_i a_ij >= c_j`` (its *reduced cost* ``sum_i y_i a_ij -
+    c_j`` is nonnegative, zero on basic columns); ``<=`` rows have
+    ``y_i >= 0``, ``>=`` rows ``y_i <= 0``, equalities are free.  For a
+    minimization LP the inequalities mirror (``sum_i y_i a_ij <= c_j``).
+    Multipliers of variable *bound* rows are not reported — the column
+    generation in :mod:`repro.lp.colgen` prices only bound-free
+    candidate columns, which need the constraint-row duals alone.
     """
 
     status: SolveStatus
@@ -53,6 +68,7 @@ class LPSolution:
     message: str = ""
     basis_labels: Optional[tuple] = None
     stats: Optional[dict] = None
+    duals: Optional[Dict[int, Number]] = None
 
     @property
     def optimal(self) -> bool:

@@ -230,6 +230,47 @@ def tiers(seed: Optional[int] = 0, wan_nodes: int = 4, mans_per_wan: int = 1,
     return g
 
 
+def fat_tree(k: int, seed: Optional[int] = 0, cost: object = 1,
+             speed_range: tuple = (10, 100)) -> PlatformGraph:
+    """k-ary fat-tree datacenter topology (Al-Fares et al.) with ``k`` even.
+
+    Three switch layers — ``(k/2)^2`` core switches, and ``k`` pods of
+    ``k/2`` aggregation plus ``k/2`` edge switches — with ``k/2`` compute
+    hosts per edge switch, so ``k^3/4`` hosts total.  Switches are
+    non-compute routers (``speed=None``); hosts get uniform random integer
+    speeds in ``speed_range`` (heterogeneous nodes on a regular fabric,
+    the datacenter analogue of the paper's Tiers platforms).  Every link
+    has the same ``cost``: fat-trees are rearrangeably non-blocking, so
+    all the LP's freedom is in route multiplicity, not link heterogeneity.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat_tree needs an even k >= 2")
+    rng = _rng(seed)
+    half = k // 2
+    g = PlatformGraph(f"fattree{k}")
+    core = [f"c{i}_{j}" for i in range(half) for j in range(half)]
+    for c in core:
+        g.add_node(c, None)
+    host_idx = 0
+    for p in range(k):
+        for a in range(half):
+            g.add_node(f"a{p}_{a}", None)
+            # aggregation switch ``a`` uplinks to core group ``a``
+            for j in range(half):
+                g.add_link(f"a{p}_{a}", f"c{a}_{j}", cost)
+        for e in range(half):
+            edge = f"e{p}_{e}"
+            g.add_node(edge, None)
+            for a in range(half):
+                g.add_link(edge, f"a{p}_{a}", cost)
+            for _ in range(half):
+                h = f"h{host_idx}"
+                host_idx += 1
+                g.add_node(h, rng.randint(*speed_range))
+                g.add_link(edge, h, cost)
+    return g
+
+
 def heterogenize(g: PlatformGraph, seed: Optional[int] = 0,
                  cost_choices: Sequence[object] = (1, 2, 3, 5),
                  speed_choices: Sequence[int] = (1, 2, 4, 8)) -> PlatformGraph:

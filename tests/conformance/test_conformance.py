@@ -116,6 +116,29 @@ def test_revised_engine_is_bit_identical(plat, spec):
             "cold", "float-primal", "float-dual", "warm-primal", "warm-dual")
 
 
+@pytest.mark.parametrize(
+    "plat,spec", CASES,
+    ids=[f"{p.name}-{s.name}" for p, s in CASES])
+def test_colgen_is_bit_identical(plat, spec):
+    """PR 8: the Dantzig-Wolfe column-generation loop must reproduce the
+    tableau oracle's rational optimum *bit-exactly* on every case — these
+    instances sit far below ``COLGEN_VAR_LIMIT``, so ``backend="colgen"``
+    forces the route auto-dispatch only takes at scale."""
+    hosts = plat.compute_nodes()
+    case_id = zlib.crc32(f"{plat.name}-{spec.name}".encode())
+    rng = random.Random(SEED ^ case_id)
+    problem = spec.conformance_problem(plat, hosts, rng)
+    if problem is None:
+        pytest.skip(f"{spec.name} declines {plat.name}")
+
+    exact = solve_collective(problem, collective=spec.name, backend="exact")
+    colgen = solve_collective(problem, collective=spec.name,
+                              backend="colgen", cache=False)
+    assert colgen.exact
+    assert colgen.throughput == exact.throughput
+    assert colgen.verify() == []
+
+
 def test_every_registered_collective_participates():
     """The matrix really covers the whole registry (the historical seven
     plus any future registration implementing ``conformance_problem``)."""

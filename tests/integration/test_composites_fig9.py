@@ -15,10 +15,12 @@ from repro.core.reduce_scatter import ReduceScatterProblem
 from repro.platform.examples import figure9_participants, figure9_platform
 from repro.sim.executor import simulate_collective
 
-#: Figure 9 hosts for the all-reduce tier: the reduce-scatter stage LP
-#: grows as n * SSR(G), so the composed tier uses the first four logical
-#: ranks (nodes 11, 8, 13, 9) to stay inside the exact-solver dispatch
-#: limit; broadcast and all-gather run over all eight hosts.
+#: Figure 9 hosts for the sequential all-reduce tier: the reduce-scatter
+#: stage LP grows as n * SSR(G), so the composed tier uses the first four
+#: logical ranks (nodes 11, 8, 13, 9) to keep the schedule + simulation
+#: round-trip fast; broadcast and all-gather run over all eight hosts,
+#: and since PR 8 the *pipelined* all-reduce tier below runs all eight
+#: too (column generation brought its 17k-var chained LP to seconds).
 ALLREDUCE_HOSTS = figure9_participants()[:4]
 
 
@@ -101,6 +103,29 @@ class TestFig9AllReduce:
         assert 0 < res.completed_ops() <= bound + 1e-9
         # past warm-up the schedule sustains a solid fraction of the bound
         assert res.completed_ops() >= 0.5 * bound
+
+
+class TestFig9AllReduce8HostPipelined:
+    def test_pipelined_eight_hosts_via_auto_dispatch(self):
+        """The ROADMAP carry-over tier: all eight fig9 hosts through the
+        chained pipelined all-reduce LP (17k raw vars), solved exactly by
+        plain auto-dispatch — which routes it to Dantzig-Wolfe column
+        generation since PR 8 — with the optimum pinned at 2/81 and the
+        per-stage solutions verifying clean."""
+        g = figure9_platform()
+        p = AllReduceProblem(g, figure9_participants(), msg_size=10,
+                             task_work=10)
+        sol = solve_collective(p, collective="all-reduce", backend="auto",
+                               mode="pipelined")
+        assert sol.exact
+        assert sol.throughput == Fraction(2, 81)
+        assert sol.mode == "pipelined"
+        assert sol.verify() == []
+        assert sol.lp_solution.stats.get("engine") == "colgen"
+        # the chained LP overlaps both phases: the pipelined optimum must
+        # beat the sequential 8-host harmonic composition or equal it
+        assert len(sol.stage_solutions) == 2
+        assert all(s.verify() == [] for s in sol.stage_solutions)
 
 
 @pytest.mark.parametrize("name", ["broadcast", "all-gather", "all-reduce"])

@@ -16,15 +16,21 @@ solve by ≥2× (the <0.5× acceptance bar) on the 20-node scatter rung
 where the basis is big enough for the crash to pay off.
 
 Also guards the PR 7 revised-simplex scale tiers against the committed
-``BENCH_PR7.json``: the 8-host fig9 pipelined all-reduce (17k raw vars,
-auto-dispatched to the LU-factorized revised engine) and the 128-host
-ring scatter must stay within 2× of their recorded end-to-end timings
-with exact optima pinned.
+``BENCH_PR7.json``: the 8-host fig9 pipelined all-reduce (17k raw vars
+on the LU-factorized revised engine) and the 128-host ring scatter must
+stay within 2× of their recorded end-to-end timings with exact optima
+pinned.
+
+Also guards the PR 8 column-generation tiers against the committed
+``BENCH_PR8.json``: the same two LPs through plain auto-dispatch — which
+now routes them to the Dantzig-Wolfe colgen loop — must stay within 2×
+of their recorded timings, and the committed colgen records must beat
+their revised-engine "before" timings at all (the cross-baseline bar).
 
 Regenerate the baselines with ``PYTHONPATH=src python
 benchmarks/perf_report.py`` (``--replan`` for BENCH_PR6.json,
-``--revised`` for BENCH_PR7.json) after an intentional perf change — or
-on a new machine.
+``--revised`` for BENCH_PR7.json, ``--colgen`` for BENCH_PR8.json) after
+an intentional perf change — or on a new machine.
 """
 
 import json
@@ -192,7 +198,8 @@ REVISED_EXPECTED = {
                                   "ring128_scatter"])
 def test_revised_tier_within_2x_of_baseline(case):
     """PR 7 scale rungs: the LU-factorized revised simplex must keep the
-    8-host fig9 pipelined all-reduce (17k raw vars, auto-dispatch) and
+    8-host fig9 pipelined all-reduce (17k raw vars, ``backend="revised"``
+    pinned — auto now routes it to colgen, guarded separately below) and
     the 128-host ring scatter inside 2x of their committed end-to-end
     timings, with the exact rational optimum pinned and the solution
     verifying clean.  These LPs sit far past the old tableau limit, so
@@ -215,6 +222,63 @@ def test_revised_tier_within_2x_of_baseline(case):
         f"{case} revised tier regressed: {elapsed:.3f}s vs baseline "
         f"{base['solve_s']:.3f}s (budget {budget:.3f}s) — if intentional, "
         f"regenerate BENCH_PR7.json via benchmarks/perf_report.py --revised")
+
+
+COLGEN_BASELINE_PATH = REPO_ROOT / "BENCH_PR8.json"
+
+#: Exact rational optima pinned for the PR 8 column-generation tiers.
+COLGEN_EXPECTED = {
+    "fig9_8host_allreduce_pipelined": Fraction(2, 81),
+    "ring128_scatter": Fraction(1, 127),
+}
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("case", ["fig9_8host_allreduce_pipelined",
+                                  "ring128_scatter"])
+def test_colgen_tier_within_2x_of_baseline(case):
+    """PR 8 rungs: plain auto-dispatch must keep routing the 8-host fig9
+    pipelined all-reduce and the 128-host ring scatter to the
+    Dantzig-Wolfe column-generation loop and land inside 2x of the
+    committed end-to-end timings, exact optimum pinned, verify clean."""
+    if not COLGEN_BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR8.json baseline; run "
+                    "benchmarks/perf_report.py --colgen")
+    base = json.loads(COLGEN_BASELINE_PATH.read_text())["colgen_cases"][case]
+
+    solve = perf_report._colgen_cases()[case]
+    t0 = time.perf_counter()
+    sol = solve()
+    elapsed = time.perf_counter() - t0
+
+    assert sol.exact
+    assert sol.throughput == COLGEN_EXPECTED[case]
+    assert sol.verify() == []
+    assert sol.lp_solution.stats.get("engine") == "colgen", \
+        f"{case}: auto-dispatch no longer routes to colgen"
+    budget = (2.0 * base["solve_s"] + NOISE_CUSHION_S) * _budget_factor()
+    assert elapsed <= budget, (
+        f"{case} colgen tier regressed: {elapsed:.3f}s vs baseline "
+        f"{base['solve_s']:.3f}s (budget {budget:.3f}s) — if intentional, "
+        f"regenerate BENCH_PR8.json via benchmarks/perf_report.py --colgen")
+
+
+@pytest.mark.perf_smoke
+def test_committed_colgen_baseline_beats_the_revised_engine():
+    """The committed PR 8 colgen records must stay faster than their
+    revised-engine "before" timings (both sides measured on one machine
+    and stored in the record itself)."""
+    if not COLGEN_BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR8.json baseline; run "
+                    "benchmarks/perf_report.py --colgen")
+    cases = json.loads(COLGEN_BASELINE_PATH.read_text())["colgen_cases"]
+    for name, c in cases.items():
+        if "before_solve_s" not in c:
+            continue  # tiers the revised engine never ran (fat-tree)
+        assert c["solve_s"] < c["before_solve_s"], (
+            f"committed BENCH_PR8.json no longer beats the revised engine "
+            f"on {name} — regenerate both baselines on one machine or "
+            f"investigate")
 
 
 @pytest.mark.perf_smoke

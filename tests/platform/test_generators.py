@@ -3,8 +3,8 @@
 import pytest
 
 from repro.platform.generators import (
-    chain, clustered, complete, grid2d, heterogenize, random_connected, ring,
-    star, tiers, tree,
+    chain, clustered, complete, fat_tree, grid2d, heterogenize,
+    random_connected, ring, star, tiers, tree,
 )
 
 
@@ -135,6 +135,35 @@ class TestTiers:
         a, b = tiers(seed=1), tiers(seed=2)
         assert {(e.src, e.dst, e.cost) for e in a.edges()} != \
                {(e.src, e.dst, e.cost) for e in b.edges()}
+
+
+class TestFatTree:
+    def test_structure_counts(self):
+        g = fat_tree(4)
+        # k^3/4 hosts; (k/2)^2 core + k*(k/2) agg + k*(k/2) edge switches
+        assert len(g.compute_nodes()) == 16
+        assert len(g.routers()) == 4 + 8 + 8
+        # 3 layers of k^2 * k/2 bidirectional links
+        assert g.num_edges() == 2 * 3 * 16
+
+    def test_connected(self):
+        assert fat_tree(4).is_strongly_connected()
+
+    def test_host_speeds_within_range(self):
+        g = fat_tree(4, seed=1, speed_range=(10, 100))
+        for h in g.compute_nodes():
+            assert 10 <= g.speed(h) <= 100
+
+    def test_deterministic(self):
+        a, b = fat_tree(6, seed=7), fat_tree(6, seed=7)
+        assert {(e.src, e.dst, e.cost) for e in a.edges()} == \
+               {(e.src, e.dst, e.cost) for e in b.edges()}
+        assert [a.speed(h) for h in a.compute_nodes()] == \
+               [b.speed(h) for h in b.compute_nodes()]
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
 
 
 class TestHeterogenize:

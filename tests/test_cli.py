@@ -163,13 +163,18 @@ class TestLpStatsFlag:
         assert "solver stats: revised-simplex" in out
         assert "pivots:" in out and "refactorization" in out
 
-    def test_tableau_backend_reports_none(self, plat_file, capsys):
+    def test_tableau_backend_reports_var_counts_only(self, plat_file,
+                                                     capsys):
+        """The tableau oracle records no engine counters, but every
+        dispatched solve stamps the raw/presolved variable counts."""
         rc = main(["scatter", "--platform", plat_file, "--source", "Ps",
                    "--targets", "P0,P1", "--backend", "tableau",
                    "--lp-stats"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "none recorded (backend exact-simplex)" in out
+        assert "solver stats: exact-simplex" in out
+        assert "after presolve" in out
+        assert "no engine counters recorded" in out
 
     def test_composite_prints_per_stage(self, tmp_path, capsys):
         from repro.platform.examples import figure6_platform
