@@ -68,4 +68,4 @@ def test_fig4_schedules(benchmark, report):
                             // int(nosplit.period) + 2, record_trace=False)
     assert res.errors == [] and res2.errors == []
     report.row("Fig 4: simulated throughput (split schedule)", "1/2",
-               round(res.measured_throughput(), 4))
+               round(float(res.measured_throughput()), 4))

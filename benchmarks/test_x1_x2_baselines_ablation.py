@@ -35,7 +35,7 @@ def test_x1_scatter_lp_vs_direct(benchmark, report):
     direct = benchmark(lambda: direct_scatter(problem, n_ops=60,
                                               record_trace=False))
     report.row("X1 scatter (Fig 2): LP steady throughput", "1/2 (optimal)",
-               round(lp_run.measured_throughput(), 4))
+               round(float(lp_run.measured_throughput()), 4))
     report.row("X1 scatter (Fig 2): direct store-and-forward", "<= 1/2",
                round(direct.throughput, 4))
     assert direct.throughput <= float(sol.throughput) + 1e-9
@@ -55,7 +55,7 @@ def test_x1_reduce_lp_vs_trees(benchmark, report):
 
     flat, binary = benchmark(run_baselines)
     report.row("X1 reduce (Fig 6): LP steady throughput", "1 (optimal)",
-               round(lp_run.measured_throughput(), 4))
+               round(float(lp_run.measured_throughput()), 4))
     report.row("X1 reduce (Fig 6): flat tree", "< 1", round(flat.throughput, 4))
     report.row("X1 reduce (Fig 6): binary tree", "<= 1",
                round(binary.throughput, 4))

@@ -38,7 +38,7 @@ def main() -> None:
         run = simulate_reduce(schedule, problem, n_periods=80,
                               record_trace=False)
         rows.append(["steady-state LP (this paper)",
-                     f"{run.measured_throughput():.4f}",
+                     f"{float(run.measured_throughput()):.4f}",
                      f"{float(solution.throughput):.4f} (optimal)"])
 
     flat = flat_tree_reduce(problem, n_ops=80, record_trace=False)

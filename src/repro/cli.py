@@ -92,6 +92,13 @@ def _add_solve_subcommand(sub, spec) -> None:
                         help="build and display the periodic schedule")
         sp.add_argument("--simulate", action="store_true")
         sp.add_argument("--periods", type=int, default=50)
+        sp.add_argument("--sim-engine", default="auto",
+                        choices=["auto", "compiled", "reference"],
+                        help="simulation engine: 'compiled' replays on "
+                             "the vectorized engine (pure-communication "
+                             "schedules only), 'reference' forces the "
+                             "per-instance executor, 'auto' picks "
+                             "(default)")
         sp.add_argument("--faults", default=None, metavar="SPEC",
                         help="inject faults while simulating: comma-"
                              "separated PERIOD:EVENT entries, e.g. "
@@ -130,13 +137,16 @@ def _cmd_solve(spec, args) -> int:
         sched = schedule_collective(sol)
         print(ascii_gantt(sched))
         if args.simulate:
+            sim_engine = getattr(args, "sim_engine", "auto")
             res = simulate_collective(sched, problem, n_periods=args.periods,
-                                      collective=spec.name)
+                                      collective=spec.name,
+                                      record_trace=sim_engine == "reference",
+                                      engine=sim_engine)
             bound = (float(sol.throughput) * float(res.horizon)
                      * spec.ops_bound_factor(problem))
             print(f"simulated {res.completed_ops()} ops over {res.horizon} "
                   f"time-units (bound {bound:.1f}); "
-                  f"correct={res.correct}")
+                  f"correct={res.correct} [{res.engine} engine]")
     return 0
 
 
@@ -195,9 +205,11 @@ def _run_faulted(spec, sol, args) -> int:
     from repro.viz.tables import degradation_table
 
     plan = FaultPlan.from_spec(args.faults)
+    sim_engine = getattr(args, "sim_engine", "auto")
     run = run_with_faults(sol, plan, args.periods, backend=args.backend,
                           on_infeasible=args.on_infeasible or "degrade",
-                          compare=True)
+                          record_trace=sim_engine == "reference",
+                          engine=sim_engine, compare=True)
     print(f"injected: {plan.describe()}")
     if not run.replanned:
         print("no replan was triggered (faults beyond the horizon, or "

@@ -262,6 +262,64 @@ class PeriodicSchedule:
             replicas=dict(self.replicas), delivery_mode=self.delivery_mode,
             chain_links=self.chain_links)
 
+    # ------------------------------------------------- simulator exports
+    def slot_starts(self) -> List[object]:
+        """Start offset of each slot within the period (prefix durations)."""
+        starts, off = [], 0
+        for slot in self.slots:
+            starts.append(off)
+            off = off + slot.duration
+        return starts
+
+    def chain_maps(self) -> Tuple[Dict[Item, int],
+                                  Dict[Tuple[NodeId, Item], Tuple[int, Hashable]]]:
+        """Chain-link lookup tables for executors.
+
+        Returns ``(produced_link, consumed_link)``: ``produced_link`` maps a
+        delivery item to the index of the link whose credit its landing
+        mints; ``consumed_link`` maps a gated ``(consumer, supply item)``
+        key to its ``(link index, operation-stream id)``.
+        """
+        produced: Dict[Item, int] = {}
+        consumed: Dict[Tuple[NodeId, Item], Tuple[int, Hashable]] = {}
+        for li, ln in enumerate(self.chain_links or ()):
+            for it in ln.produced:
+                produced[it] = li
+            for it, stream in ln.consumed:
+                consumed[(ln.consumer, it)] = (li, stream)
+        return produced, consumed
+
+    def resolve_landing(self, node: NodeId, item: Item) \
+            -> Tuple[Tuple[Item, ...], Tuple[Tuple[NodeId, Item], ...]]:
+        """Static effect of an instance of ``item`` landing at ``node``.
+
+        Expands replica fan-out transitively and splits the result into
+        ``(delivered items, buffered (node, item) keys)`` — the landing
+        re-materializes as one delivery count per listed item plus one
+        buffered instance per listed key.  This is the compile-time view of
+        :meth:`repro.sim.executor.ScheduleExecutor.land`, used by the
+        vectorized engine to turn landings into pure count updates.
+        """
+        delivered: List[Item] = []
+        buffered: List[Tuple[NodeId, Item]] = []
+        stack = [item]
+        guard = 0
+        while stack:
+            it = stack.pop()
+            guard += 1
+            if guard > 10000:
+                raise ValueError(
+                    f"replica fan-out at ({node!r}, {item!r}) does not "
+                    f"terminate")
+            reps = self.replicas.get((node, it)) if self.replicas else None
+            if reps is not None:
+                stack.extend(reversed(reps))  # left-to-right DFS like land()
+            elif self.deliveries.get(it) == node:
+                delivered.append(it)
+            else:
+                buffered.append((node, it))
+        return tuple(delivered), tuple(buffered)
+
 
 def _denominator(x) -> int:
     if isinstance(x, int):

@@ -101,6 +101,25 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
+def resolve_chunksize(n_tasks: int, njobs: int) -> int:
+    """Pricing-pool ``pool.map`` chunk size for one round.
+
+    ``REPRO_COLGEN_CHUNK`` pins it; the default heuristic hands each
+    worker ~4 chunks per round (``ceil(n_tasks / (4 * njobs))``), which
+    amortizes per-task pickling/IPC on wide rounds while still letting
+    fast workers steal from stragglers.  Chunking only reorders *when*
+    results come back, never *what* they are — column admission sorts by
+    key, so the optimum stays jobs- and chunk-invariant.
+    """
+    try:
+        pinned = int(os.environ.get("REPRO_COLGEN_CHUNK", "0"))
+    except ValueError:
+        pinned = 0
+    if pinned > 0:
+        return pinned
+    return max(1, -(-n_tasks // (4 * max(1, njobs))))
+
+
 # ----------------------------------------------------------------------
 # structure detection
 # ----------------------------------------------------------------------
@@ -781,7 +800,10 @@ def solve_colgen(lp: LinearProgram,
         stats["columns_priced"] += len(tasks)
         t0 = perf_counter()
         if pool is not None:
-            results = list(pool.map(_pool_price, tasks, chunksize=1))
+            chunk = resolve_chunksize(len(tasks), njobs)
+            stats["pricing_chunk"] = max(int(stats.get("pricing_chunk", 0)),
+                                         chunk)
+            results = list(pool.map(_pool_price, tasks, chunksize=chunk))
         else:
             results = []
             for task in tasks:

@@ -123,7 +123,7 @@ class SimComm:
         sched = build_scatter_schedule(sol)
         res = simulate_scatter(sched, problem, n_periods=n_periods)
         return SeriesReport(kind="scatter", lp_throughput=sol.throughput,
-                            measured_throughput=res.measured_throughput(),
+                            measured_throughput=float(res.measured_throughput()),
                             completed_ops=res.completed_ops(),
                             horizon=res.horizon, correct=res.correct)
 
@@ -140,6 +140,6 @@ class SimComm:
         sched = build_reduce_schedule(sol)
         res = simulate_reduce(sched, problem, n_periods=n_periods, op=op)
         return SeriesReport(kind="reduce", lp_throughput=sol.throughput,
-                            measured_throughput=res.measured_throughput(),
+                            measured_throughput=float(res.measured_throughput()),
                             completed_ops=res.completed_ops(),
                             horizon=res.horizon, correct=res.correct)

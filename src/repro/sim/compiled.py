@@ -1,0 +1,878 @@
+"""Compiled (vectorized) replay of periodic schedules.
+
+:func:`compile_schedule` lowers a
+:class:`~repro.core.schedule.PeriodicSchedule` into dense numpy tables —
+flattened per-slot transfer arrays (draw key, pipe, landing target,
+micro-unit budget), per-pipe prefix sums, CSR-style replica fan-out /
+delivery / chain-credit maps — and :class:`VectorizedExecutor` replays
+them with array ops instead of per-instance Python dicts.
+
+The engine is **count-exact**: it tracks how many instances sit in each
+``(node, item)`` buffer and how far each ``(src, dst, item)`` pipe has
+progressed, in integer *micro-units* (messages scaled by the lcm of all
+split denominators), instead of materializing stamped
+:class:`~repro.sim.executor.Instance` objects.  For pure-communication
+schedules this loses nothing: payloads are pure functions of their
+sequence stamp and are never transformed in flight, so the reference
+executor's per-delivery value checks are vacuous by construction and the
+two engines produce bit-identical delivery counts, delivery times and
+chain-credit behaviour (the conformance suite and the differential fuzz
+tests pit them against each other case by case).  Anything value-checked
+— compute tasks, a combine operator — must run on the reference
+executor; :func:`repro.sim.engine.resolve_sim_engine` enforces the split.
+
+Three speed tiers, all exact:
+
+1. **Vectorized period** — when no chain links exist and every draw
+   provably succeeds (one ``bincount`` feasibility check against buffered
+   counts), the whole period commits as array ops: completions per
+   transfer are floor-differences of static micro-unit prefix sums, port
+   accounting and landings are ``bincount`` scatter-adds.
+2. **Scalar fallback** — warm-up periods (empty buffers) and chain-gated
+   schedules run an integer loop over the flattened transfer table: no
+   Fractions, no dicts in the hot path; the chain-credit ledger is a
+   prefix-sum count (credits minted before a slot's start minus credits
+   spent) instead of a sorted list of mint times.
+3. **Transition memoization** — period dynamics are a pure function of
+   the (relative) period-start state; once a state digest repeats, the
+   recorded transition replays in O(buffers) without touching the
+   transfer table at all.  Steady state is exactly such a fixed point, so
+   long replays cost warm-up plus bookkeeping.
+
+Delivery *times* are reconstructed exactly (Fractions) once per unique
+within-period movement pattern and shared by every period that repeats
+the pattern, so ``SimulationResult.delivery_times`` is bit-compatible
+with the reference executor at a fraction of the arithmetic.
+
+Faults and schedule switches recompile: :meth:`VectorizedExecutor.fail_link`,
+:meth:`~VectorizedExecutor.fail_node` and
+:meth:`~VectorizedExecutor.switch_schedule` rebuild the tables (dead
+transfers drop out, carried buffers are remapped by ``(node, item)``
+key) and invalidate the memoized transitions — the recompile-at-switch
+path that keeps :func:`repro.sim.faults.run_with_faults` on the fast
+engine end to end.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.schedule import PeriodicSchedule
+from repro.sim.executor import SimulationResult
+
+NodeId = Hashable
+Item = Hashable
+
+#: Micro-unit prefix sums must fit comfortably in int64.
+_MU_LIMIT = 1 << 62
+
+
+def _raw_fraction(num: int, den: int) -> Fraction:
+    """Fraction from an already-normalized num/den, skipping the
+    constructor's gcd pass (a pure hot-path shortcut)."""
+    f = Fraction.__new__(Fraction)
+    f._numerator = num
+    f._denominator = den
+    return f
+
+
+try:  # guard against fractions implementations without those slots
+    _FAST_FRACTION = (_raw_fraction(3, 2) == Fraction(3, 2)
+                      and _raw_fraction(3, 2) + Fraction(1, 2) == 2)
+except Exception:  # pragma: no cover - exercised only off-CPython
+    _FAST_FRACTION = False
+
+
+def _rational(x) -> bool:
+    return isinstance(x, (int, Fraction))
+
+
+def compile_unsupported(schedule: PeriodicSchedule) -> Optional[str]:
+    """Why :func:`compile_schedule` cannot lower this schedule (None == ok)."""
+    if schedule.compute:
+        return "compute tasks need the reference executor"
+    den = 1
+    total = 0
+    for slot in schedule.slots:
+        if not _rational(slot.duration):
+            return "float-timed schedule (inexact slot durations)"
+        for tr in slot.transfers:
+            if tr.units <= 0:
+                continue
+            if not (_rational(tr.units) and _rational(tr.time)):
+                return "float-timed schedule (inexact transfer data)"
+            d = Fraction(tr.units).denominator
+            den = den // gcd(den, d) * d
+            total += tr.units
+    if den * (total + 1) >= _MU_LIMIT:
+        return "micro-unit scale overflows int64"
+    return None
+
+
+@dataclass
+class CompiledSchedule:
+    """Dense tables for one schedule under one fault epoch.
+
+    All per-transfer arrays cover only *alive* transfers (positive units,
+    not touching a dead link/node), in slot order — the order the
+    reference executor processes them in.
+    """
+
+    schedule: PeriodicSchedule
+    mu: int                      # micro-units per message instance
+    blocked: int                 # dead slot-transfers hit per period
+    # (node, item) buffer/draw keys
+    keys: List[Tuple[NodeId, Item]]
+    key_index: Dict[Tuple[NodeId, Item], int]
+    key_supply: np.ndarray       # bool: an infinite supply sits here
+    key_gate: List[Optional[Tuple[int, Hashable]]]  # (link, stream) or None
+    gated_keys: np.ndarray       # key ids with a chain gate, sorted
+    # (src, dst, item) pipes
+    pipes: List[Tuple[NodeId, NodeId, Item]]
+    pipe_index: Dict[Tuple[NodeId, NodeId, Item], int]
+    pipe_total: np.ndarray       # summed alive budget (mu) per pipe/period
+    # flattened transfers
+    t_key: np.ndarray
+    t_pipe: np.ndarray
+    t_land: np.ndarray
+    t_slot: np.ndarray
+    t_budget: np.ndarray         # mu
+    t_cum_excl: np.ndarray       # per-pipe mu prefix before this transfer
+    t_cum_incl: np.ndarray
+    t_pair: List[Tuple[NodeId, NodeId]]
+    t_unit_time: List[Fraction]  # occupation per whole message
+    # landing targets: transitive replica expansion, compiled to CSR
+    lands: List[Tuple[NodeId, Item]]
+    land_deliver: List[Tuple[Item, ...]]
+    land_buffer_keys: List[Tuple[int, ...]]
+    land_credits: List[Tuple[int, ...]]
+    ld_land: np.ndarray          # delivery scatter: land id -> item id
+    ld_item: np.ndarray
+    lb_land: np.ndarray          # buffer scatter: land id -> key id
+    lb_key: np.ndarray
+    items: List[Item]            # delivery item id -> item
+    item_index: Dict[Item, int]
+    slot_start: List[object]     # Fraction offset of each slot in the period
+    n_links: int
+
+    def state_digest(self, avail, pipe, credit_old, gate_gap) -> bytes:
+        """Relative period-start state: everything the period's behaviour
+        depends on (buffered counts, pipe progress, credit backlog, gate
+        gaps) — absolute sequence counters drift monotonically and are
+        deliberately excluded."""
+        return b"".join((avail.tobytes(), pipe.tobytes(),
+                         credit_old.tobytes(), gate_gap.tobytes()))
+
+
+def compile_schedule(schedule: PeriodicSchedule,
+                     supplies=(),
+                     dead_links=frozenset(),
+                     dead_nodes=frozenset(),
+                     extra_keys=()) -> CompiledSchedule:
+    """Lower ``schedule`` into :class:`CompiledSchedule` tables.
+
+    ``supplies`` is the set (or mapping) of ``(node, item)`` supply keys;
+    ``extra_keys`` forces additional buffer keys into the key table (used
+    when carrying state across a recompile).  Raises :class:`ValueError`
+    when the schedule is not compilable — callers should consult
+    :func:`compile_unsupported` (or engine auto-dispatch) first.
+    """
+    reason = compile_unsupported(schedule)
+    if reason is not None:
+        raise ValueError(f"cannot compile {schedule.name!r}: {reason}")
+
+    mu = 1
+    for slot in schedule.slots:
+        for tr in slot.transfers:
+            if tr.units > 0:
+                d = Fraction(tr.units).denominator
+                mu = mu // gcd(mu, d) * d
+
+    produced_link, consumed_link = schedule.chain_maps()
+    n_links = len(schedule.chain_links or ())
+
+    key_index: Dict[Tuple[NodeId, Item], int] = {}
+    keys: List[Tuple[NodeId, Item]] = []
+
+    def key_id(key) -> int:
+        kid = key_index.get(key)
+        if kid is None:
+            kid = key_index[key] = len(keys)
+            keys.append(key)
+        return kid
+
+    pipe_index: Dict[Tuple[NodeId, NodeId, Item], int] = {}
+    pipes: List[Tuple[NodeId, NodeId, Item]] = []
+    land_index: Dict[Tuple[NodeId, Item], int] = {}
+    lands: List[Tuple[NodeId, Item]] = []
+    land_deliver: List[Tuple[Item, ...]] = []
+    land_buffer_keys: List[Tuple[int, ...]] = []
+    land_credits: List[Tuple[int, ...]] = []
+    item_index: Dict[Item, int] = {}
+    items: List[Item] = []
+
+    def land_id(node, item) -> int:
+        lid = land_index.get((node, item))
+        if lid is not None:
+            return lid
+        delivered, buffered = schedule.resolve_landing(node, item)
+        lid = land_index[(node, item)] = len(lands)
+        lands.append((node, item))
+        land_deliver.append(delivered)
+        land_buffer_keys.append(tuple(key_id(k) for k in buffered))
+        credits = []
+        for it in delivered:
+            li = produced_link.get(it)
+            if li is not None:
+                credits.append(li)
+            if it not in item_index:
+                item_index[it] = len(items)
+                items.append(it)
+        land_credits.append(tuple(credits))
+        return lid
+
+    # delivery items that never land this epoch still need stable ids
+    for it in schedule.deliveries:
+        if it not in item_index:
+            item_index[it] = len(items)
+            items.append(it)
+
+    t_key: List[int] = []
+    t_pipe: List[int] = []
+    t_land: List[int] = []
+    t_slot: List[int] = []
+    t_budget: List[int] = []
+    t_pair: List[Tuple[NodeId, NodeId]] = []
+    t_unit_time: List[Fraction] = []
+    blocked = 0
+    slot_start: List[object] = schedule.slot_starts()
+    for si, slot in enumerate(schedule.slots):
+        for tr in slot.transfers:
+            if tr.units <= 0:
+                continue
+            if ((tr.src, tr.dst) in dead_links or tr.src in dead_nodes
+                    or tr.dst in dead_nodes):
+                blocked += 1
+                continue
+            pk = (tr.src, tr.dst, tr.item)
+            pid = pipe_index.get(pk)
+            if pid is None:
+                pid = pipe_index[pk] = len(pipes)
+                pipes.append(pk)
+            t_key.append(key_id((tr.src, tr.item)))
+            t_pipe.append(pid)
+            t_land.append(land_id(tr.dst, tr.item))
+            t_slot.append(si)
+            budget = Fraction(tr.units) * mu
+            assert budget.denominator == 1
+            t_budget.append(int(budget))
+            t_pair.append((tr.src, tr.dst))
+            t_unit_time.append(Fraction(tr.time) / Fraction(tr.units))
+
+    for key in supplies:
+        key_id(key)
+    for key in extra_keys:
+        key_id(key)
+
+    n_keys, n_pipes = len(keys), len(pipes)
+
+    def arr(xs):
+        return np.asarray(xs, dtype=np.int64)
+
+    t_key_a = arr(t_key)
+    t_pipe_a = arr(t_pipe)
+    t_land_a = arr(t_land)
+    t_budget_a = arr(t_budget)
+    # per-pipe running mu totals -> static prefix sums (completions per
+    # transfer in a fully-moving period are floor-differences of these)
+    cum_excl = np.zeros(len(t_key), dtype=np.int64)
+    pipe_running = np.zeros(n_pipes, dtype=np.int64)
+    for i, pid in enumerate(t_pipe):
+        cum_excl[i] = pipe_running[pid]
+        pipe_running[pid] += t_budget[i]
+    cum_incl = cum_excl + t_budget_a
+
+    key_supply = np.zeros(n_keys, dtype=bool)
+    for key in supplies:
+        key_supply[key_index[key]] = True
+    key_gate: List[Optional[Tuple[int, Hashable]]] = [None] * n_keys
+    for key, gate in consumed_link.items():
+        if key in key_index:
+            key_gate[key_index[key]] = gate
+    gated = arr(sorted(k for k in range(n_keys) if key_gate[k] is not None))
+
+    ld_land, ld_item, lb_land, lb_key = [], [], [], []
+    for lid in range(len(lands)):
+        for it in land_deliver[lid]:
+            ld_land.append(lid)
+            ld_item.append(item_index[it])
+        for kid in land_buffer_keys[lid]:
+            lb_land.append(lid)
+            lb_key.append(kid)
+
+    return CompiledSchedule(
+        schedule=schedule, mu=mu, blocked=blocked,
+        keys=keys, key_index=key_index, key_supply=key_supply,
+        key_gate=key_gate, gated_keys=gated,
+        pipes=pipes, pipe_index=pipe_index, pipe_total=pipe_running,
+        t_key=t_key_a, t_pipe=t_pipe_a, t_land=t_land_a, t_slot=arr(t_slot),
+        t_budget=t_budget_a, t_cum_excl=cum_excl, t_cum_incl=cum_incl,
+        t_pair=t_pair, t_unit_time=t_unit_time,
+        lands=lands, land_deliver=land_deliver,
+        land_buffer_keys=land_buffer_keys, land_credits=land_credits,
+        ld_land=arr(ld_land), ld_item=arr(ld_item),
+        lb_land=arr(lb_land), lb_key=arr(lb_key),
+        items=items, item_index=item_index,
+        slot_start=slot_start, n_links=n_links)
+
+
+@dataclass
+class _Pattern:
+    """One unique within-period movement pattern.
+
+    ``events`` lists ``(item, end_offset, count)`` delivery events in the
+    reference executor's land order (transfer order == chronological
+    order, since a transfer always ends within its slot); every period
+    that repeats the pattern lands the same deliveries at
+    ``period_start + end_offset``.
+    """
+
+    events: List[Tuple[Item, object, int]]
+    delivered: List[Tuple[Item, int]]
+    total: int
+
+
+@dataclass
+class _Transition:
+    """Memoized one-period state transition (valid within one epoch)."""
+
+    pattern: int
+    avail: np.ndarray
+    arriving: np.ndarray
+    pipe: np.ndarray
+    credit_old: np.ndarray
+    supply_delta: np.ndarray
+    stream_delta: List[Dict[Hashable, int]]
+
+
+class VectorizedExecutor:
+    """Drop-in count-exact replacement for
+    :class:`~repro.sim.executor.ScheduleExecutor` on pure-communication
+    schedules: same ``run_period`` / ``fail_link`` / ``fail_node`` /
+    ``switch_schedule`` / ``result`` surface, numpy state inside."""
+
+    def __init__(self, schedule: PeriodicSchedule, supplies):
+        self.dead_links: set = set()
+        self.dead_nodes: set = set()
+        self.blocked_last_period = 0
+        self.time = 0
+        self.periods_run = 0
+        self.switches: List[Dict[str, object]] = []
+        self.abandoned: List[str] = []
+        # replay log: one (start time, pattern id) per period
+        self._period_starts: List[object] = []
+        self._period_pattern: List[int] = []
+        self._patterns: List[_Pattern] = []
+        self._pattern_ids: Dict[Tuple[int, bytes], int] = {}
+        self._delivery_items: List[Item] = []   # every delivery item ever
+        self._epoch = 0
+        self._install(schedule, supplies)
+
+    # -- installation / recompilation -----------------------------------
+
+    def _install(self, schedule: PeriodicSchedule, supplies,
+                 carry_state: Optional[Dict] = None) -> None:
+        self.schedule = schedule
+        self.supplies = dict(supplies)
+        extra: set = set()
+        if carry_state:
+            extra |= carry_state["avail"].keys()
+            extra |= carry_state.get("arriving", {}).keys()
+        self.tables = compile_schedule(schedule, supplies=self.supplies,
+                                       dead_links=self.dead_links,
+                                       dead_nodes=self.dead_nodes,
+                                       extra_keys=sorted(extra, key=repr))
+        tb = self.tables
+        n = len(tb.keys)
+        self.avail = np.zeros(n, dtype=np.int64)
+        self.arriving = np.zeros(n, dtype=np.int64)
+        self.supply_seq = np.zeros(n, dtype=np.int64)
+        self.pipe = np.zeros(len(tb.pipes), dtype=np.int64)
+        self.credit_old = np.zeros(tb.n_links, dtype=np.int64)
+        self.stream_next: List[Dict[Hashable, int]] = \
+            [{} for _ in range(tb.n_links)]
+        if carry_state:
+            for key, count in carry_state["avail"].items():
+                self.avail[tb.key_index[key]] = count
+            for key, count in carry_state.get("arriving", {}).items():
+                self.arriving[tb.key_index[key]] = count
+            for key, seq in carry_state["supply_seq"].items():
+                kid = tb.key_index.get(key)
+                if kid is not None:
+                    self.supply_seq[kid] = seq
+        for it in schedule.deliveries:
+            if it not in self._delivery_item_set:
+                self._delivery_item_set.add(it)
+                self._delivery_items.append(it)
+        self._transitions: Dict[bytes, _Transition] = {}
+        # scalar-path constants (plain lists: ~3x faster element access)
+        self._l_key = tb.t_key.tolist()
+        self._l_pipe = tb.t_pipe.tolist()
+        self._l_land = tb.t_land.tolist()
+        self._l_slot = tb.t_slot.tolist()
+        self._l_budget = tb.t_budget.tolist()
+        self._l_supply = tb.key_supply.tolist()
+
+    # the delivery-item registry survives installs (items of pre-switch
+    # schedules keep their result rows); created lazily because the first
+    # _install runs from __init__
+    @property
+    def _delivery_item_set(self) -> set:
+        s = getattr(self, "_delivery_seen_items", None)
+        if s is None:
+            s = self._delivery_seen_items = set()
+        return s
+
+    def _gate_gap(self) -> np.ndarray:
+        tb = self.tables
+        gap = np.zeros(len(tb.gated_keys), dtype=np.int64)
+        for i, kid in enumerate(tb.gated_keys):
+            li, stream = tb.key_gate[kid]
+            gap[i] = self.stream_next[li].get(stream, 0) - self.supply_seq[kid]
+        return gap
+
+    # -- one period ------------------------------------------------------
+
+    def run_period(self) -> int:
+        tb = self.tables
+        self.avail += self.arriving
+        self.arriving[:] = 0
+        digest = tb.state_digest(self.avail, self.pipe, self.credit_old,
+                                 self._gate_gap())
+        memo = self._transitions.get(digest)
+        if memo is not None:
+            self.avail = memo.avail.copy()
+            self.arriving = memo.arriving.copy()
+            self.pipe = memo.pipe.copy()
+            self.credit_old = memo.credit_old.copy()
+            self.supply_seq += memo.supply_delta
+            for li, deltas in enumerate(memo.stream_delta):
+                nxt = self.stream_next[li]
+                for stream, d in deltas.items():
+                    nxt[stream] = nxt.get(stream, 0) + d
+            pattern = memo.pattern
+        else:
+            seq_before = self.supply_seq.copy()
+            stream_before = [dict(nx) for nx in self.stream_next]
+            if tb.n_links == 0 and self._vector_feasible():
+                pattern = self._run_vectorized()
+            else:
+                pattern = self._run_scalar()
+            self._transitions[digest] = _Transition(
+                pattern=pattern, avail=self.avail.copy(),
+                arriving=self.arriving.copy(), pipe=self.pipe.copy(),
+                credit_old=self.credit_old.copy(),
+                supply_delta=self.supply_seq - seq_before,
+                stream_delta=[
+                    {s: v - stream_before[li].get(s, 0)
+                     for s, v in self.stream_next[li].items()
+                     if v != stream_before[li].get(s, 0)}
+                    for li in range(tb.n_links)])
+        pat = self._patterns[pattern]
+        self.blocked_last_period = tb.blocked
+        self._period_starts.append(self.time)
+        self._period_pattern.append(pattern)
+        self.time = self.time + self.schedule.period
+        self.periods_run += 1
+        return pat.total
+
+    def run_periods(self, n_periods: int) -> None:
+        for _ in range(n_periods):
+            self.run_period()
+
+    # -- vectorized period ----------------------------------------------
+
+    def _vector_feasible(self) -> bool:
+        """True when every draw of a full-budget period provably succeeds:
+        per-key demand (a ceil-difference of the static pipe prefix sums)
+        stays within buffered counts wherever no supply backs the key."""
+        tb = self.tables
+        if not len(tb.t_key):
+            self._vec_demand = np.zeros(len(tb.keys), dtype=np.int64)
+            return True
+        d0 = self.pipe[tb.t_pipe]
+        mu = tb.mu
+        draws = (-(-(d0 + tb.t_cum_incl) // mu)) - (-(-(d0 + tb.t_cum_excl) // mu))
+        demand = np.bincount(tb.t_key, weights=draws,
+                             minlength=len(tb.keys)).astype(np.int64)
+        short = (demand > self.avail) & ~tb.key_supply
+        if short.any():
+            return False
+        self._vec_demand = demand
+        return True
+
+    def _run_vectorized(self) -> int:
+        tb = self.tables
+        mu = tb.mu
+        d0 = self.pipe[tb.t_pipe]
+        comp = (d0 + tb.t_cum_incl) // mu - (d0 + tb.t_cum_excl) // mu
+        demand = self._vec_demand
+        take = np.where(tb.key_supply, np.minimum(demand, self.avail), demand)
+        self.avail -= take
+        self.supply_seq += demand - take
+        self.pipe = (self.pipe + tb.pipe_total) % mu
+        comp_by_land = np.bincount(tb.t_land, weights=comp,
+                                   minlength=len(tb.lands)).astype(np.int64)
+        if len(tb.lb_key):
+            self.arriving += np.bincount(
+                tb.lb_key, weights=comp_by_land[tb.lb_land],
+                minlength=len(tb.keys)).astype(np.int64)
+        return self._pattern_id(tb.t_budget, comp.astype(np.int64))
+
+    # -- scalar period ---------------------------------------------------
+
+    def _run_scalar(self) -> int:
+        """Integer transfer loop: exact draw order (pipe continuation,
+        then buffered, then supply behind its chain gate), no Fractions
+        except the credit mint times the gate comparisons need."""
+        tb = self.tables
+        mu = tb.mu
+        avail = self.avail.tolist()
+        pipe = self.pipe.tolist()
+        supply_seq = self.supply_seq.tolist()
+        credit_old = self.credit_old.tolist()
+        spent_old = [0] * tb.n_links
+        mints: List[List[object]] = [[] for _ in range(tb.n_links)]
+        spent_new = [0] * tb.n_links
+        moved = [0] * len(self._l_key)
+        comp = [0] * len(self._l_key)
+        arriving = self.arriving
+        cur_slot = -1
+        pair_off: Dict[Tuple[NodeId, NodeId], object] = {}
+        track_times = tb.n_links > 0  # mints gate later same-period slots
+        for i, budget in enumerate(self._l_budget):
+            pid = self._l_pipe[i]
+            d = pipe[pid]
+            moved_mu = 0
+            done = 0
+            if d > 0:
+                step = mu - d if mu - d <= budget else budget
+                budget -= step
+                moved_mu += step
+                if d + step >= mu:
+                    done += 1
+                    d = 0
+                else:
+                    d = d + step
+            if budget > 0:
+                want = -(-budget // mu)
+                kid = self._l_key[i]
+                got = avail[kid] if avail[kid] < want else want
+                avail[kid] -= got
+                if got < want and self._l_supply[kid]:
+                    need = want - got
+                    gate = tb.key_gate[kid]
+                    if gate is None:
+                        supply_seq[kid] += need
+                        got = want
+                    else:
+                        li, stream = gate
+                        seq = supply_seq[kid]
+                        nxt = self.stream_next[li].get(stream, 0)
+                        free = nxt - seq if nxt - seq > 0 else 0
+                        free = free if free < need else need
+                        credited = need - free
+                        if credited:
+                            now = tb.slot_start[self._l_slot[i]]
+                            pool = (credit_old[li] - spent_old[li]
+                                    + bisect_right(mints[li], now)
+                                    - spent_new[li])
+                            if credited > pool:
+                                credited = pool
+                            so = credit_old[li] - spent_old[li]
+                            so = so if so < credited else credited
+                            spent_old[li] += so
+                            spent_new[li] += credited - so
+                            self.stream_next[li][stream] = \
+                                seq + free + credited
+                        supply_seq[kid] = seq + free + credited
+                        got += free + credited
+                if got >= want:
+                    done += budget // mu
+                    if budget % mu:
+                        d = budget % mu
+                    moved_mu += budget
+                else:
+                    done += got
+                    moved_mu += got * mu
+            pipe[pid] = d
+            moved[i] = moved_mu
+            comp[i] = done
+            if track_times and moved_mu > 0:
+                si = self._l_slot[i]
+                if si != cur_slot:
+                    cur_slot = si
+                    pair_off = {}
+                pair = tb.t_pair[i]
+                dur = tb.t_unit_time[i] * Fraction(moved_mu, mu)
+                before = pair_off.get(pair, 0)
+                pair_off[pair] = before + dur
+                if done:
+                    links = tb.land_credits[self._l_land[i]]
+                    if links:
+                        end = tb.slot_start[si] + before + dur
+                        for li in links:
+                            for _ in range(done):
+                                insort(mints[li], end)
+        comp_a = np.asarray(comp, dtype=np.int64)
+        comp_by_land = np.bincount(tb.t_land, weights=comp_a,
+                                   minlength=len(tb.lands)).astype(np.int64) \
+            if len(comp) else np.zeros(len(tb.lands), dtype=np.int64)
+        if len(tb.lb_key):
+            arriving += np.bincount(
+                tb.lb_key, weights=comp_by_land[tb.lb_land],
+                minlength=len(tb.keys)).astype(np.int64)
+        self.avail = np.asarray(avail, dtype=np.int64)
+        self.pipe = np.asarray(pipe, dtype=np.int64)
+        self.supply_seq = np.asarray(supply_seq, dtype=np.int64)
+        for li in range(tb.n_links):
+            self.credit_old[li] = (credit_old[li] - spent_old[li]
+                                   + len(mints[li]) - spent_new[li])
+        return self._pattern_id(np.asarray(moved, dtype=np.int64), comp_a)
+
+    # -- movement patterns ----------------------------------------------
+
+    def _pattern_id(self, moved: np.ndarray, comp: np.ndarray) -> int:
+        key = (self._epoch, moved.tobytes() + comp.tobytes())
+        pid = self._pattern_ids.get(key)
+        if pid is not None:
+            return pid
+        tb = self.tables
+        mu = tb.mu
+        events: List[Tuple[Item, object, int]] = []
+        delivered: Dict[Item, int] = {}
+        cur_slot = -1
+        pair_off: Dict[Tuple[NodeId, NodeId], object] = {}
+        for i in np.nonzero(moved)[0].tolist():
+            si = self._l_slot[i]
+            if si != cur_slot:
+                cur_slot = si
+                pair_off = {}
+            pair = tb.t_pair[i]
+            dur = tb.t_unit_time[i] * Fraction(int(moved[i]), mu)
+            before = pair_off.get(pair, 0)
+            pair_off[pair] = before + dur
+            n = int(comp[i])
+            if n:
+                targets = tb.land_deliver[self._l_land[i]]
+                if targets:
+                    end = tb.slot_start[si] + before + dur
+                    for it in targets:
+                        events.append((it, end, n))
+                        delivered[it] = delivered.get(it, 0) + n
+        pat = _Pattern(events=events, delivered=list(delivered.items()),
+                       total=sum(delivered.values()))
+        pid = len(self._patterns)
+        self._patterns.append(pat)
+        self._pattern_ids[key] = pid
+        return pid
+
+    # -- fault injection -------------------------------------------------
+
+    def _recompile(self) -> None:
+        """Rebuild tables after a platform change, carrying counted state
+        across by ``(node, item)`` key; memoized transitions and the
+        current epoch's patterns are invalidated."""
+        tb = self.tables
+        carry = {
+            "avail": {tb.keys[k]: int(self.avail[k])
+                      for k in np.nonzero(self.avail)[0]},
+            "arriving": {tb.keys[k]: int(self.arriving[k])
+                         for k in np.nonzero(self.arriving)[0]},
+            "supply_seq": {tb.keys[k]: int(self.supply_seq[k])
+                           for k in np.nonzero(self.supply_seq)[0]},
+        }
+        old_pipes = {tb.pipes[p]: int(self.pipe[p])
+                     for p in np.nonzero(self.pipe)[0]}
+        old_credit = self.credit_old.copy()
+        old_streams = self.stream_next
+        self._epoch += 1
+        self._install(self.schedule, self.supplies, carry_state=carry)
+        tb = self.tables
+        for pk, done in old_pipes.items():
+            # dead pipes were drained before the recompile, so every
+            # surviving shipment's transfer is still in the new table
+            self.pipe[tb.pipe_index[pk]] = done
+        self.credit_old[:] = old_credit
+        self.stream_next = old_streams
+
+    def fail_link(self, src: NodeId, dst: NodeId) -> None:
+        """Kill the directed link; in-flight partial instances return to
+        the sender's buffer (drawn once, never double-delivered)."""
+        self.dead_links.add((src, dst))
+        tb = self.tables
+        for p, pk in enumerate(tb.pipes):
+            if pk[0] == src and pk[1] == dst and self.pipe[p] > 0:
+                self.avail[tb.key_index[(src, pk[2])]] += 1
+                self.pipe[p] = 0
+        self._recompile()
+
+    def fail_node(self, node: NodeId) -> None:
+        """Kill a node: buffered/outbound-in-flight instances are written
+        off into ``abandoned`` (one ledger line per instance, like the
+        reference executor); inbound in-flight instances abort back to
+        their senders."""
+        self.dead_nodes.add(node)
+        tb = self.tables
+        for p, pk in enumerate(tb.pipes):
+            if self.pipe[p] <= 0 or (pk[0] != node and pk[1] != node):
+                continue
+            if pk[1] == node:
+                self.avail[tb.key_index[(pk[0], pk[2])]] += 1
+            else:
+                self.abandoned.append(
+                    f"{pk[2]!r} in flight from dead {node!r}")
+            self.pipe[p] = 0
+        for store, kind in ((self.avail, "buffered"),
+                            (self.arriving, "arriving")):
+            for k in np.nonzero(store)[0]:
+                n, item = tb.keys[k]
+                if n == node:
+                    for _ in range(int(store[k])):
+                        self.abandoned.append(
+                            f"{item!r} {kind} at dead {node!r}")
+                    store[k] = 0
+        for key in [key for key in self.supplies if key[0] == node]:
+            del self.supplies[key]
+        self._recompile()
+
+    # -- schedule switch -------------------------------------------------
+
+    def switch_schedule(self, schedule: PeriodicSchedule, supplies,
+                        combine=None, expected=None,
+                        mode: Optional[str] = None) -> str:
+        """Swap in a re-solved schedule at the current period boundary and
+        recompile.  Same contract as the reference executor's
+        :meth:`~repro.sim.executor.ScheduleExecutor.switch_schedule`
+        (``carry`` relocates counted buffers, ``restart`` writes them
+        off); the new schedule must itself be compilable."""
+        from repro.sim.executor import carry_compatible
+
+        if combine is not None:
+            raise ValueError("compiled engine cannot switch to a "
+                             "value-checked schedule; use the reference "
+                             "executor")
+        tb = self.tables
+        # drain partial shipments back to their senders
+        for p in np.nonzero(self.pipe)[0]:
+            src, _dst, item = tb.pipes[p]
+            self.avail[tb.key_index[(src, item)]] += 1
+            self.pipe[p] = 0
+        self.avail += self.arriving
+        self.arriving[:] = 0
+        if mode is None:
+            mode = "carry" if carry_compatible(self.schedule, schedule) \
+                else "restart"
+        elif mode not in ("carry", "restart"):
+            raise ValueError(f"unknown switch mode {mode!r}")
+
+        buffered = {tb.keys[k]: int(self.avail[k])
+                    for k in np.nonzero(self.avail)[0]}
+        seqs = {tb.keys[k]: int(self.supply_seq[k])
+                for k in np.nonzero(self.supply_seq)[0]}
+        self._epoch += 1
+        if mode == "restart":
+            for (node, item), count in buffered.items():
+                for _ in range(count):
+                    self.abandoned.append(
+                        f"{item!r} written off at {node!r} "
+                        f"(schedule restart)")
+            self._install(schedule, supplies)
+        else:
+            # supply homes for relocating stranded buffers (reference
+            # executor's _relocate_stranded, on counts)
+            supply_node: Dict[Item, NodeId] = {}
+            ambiguous = set()
+            for (node, item) in supplies:
+                if item in supply_node and supply_node[item] != node:
+                    ambiguous.add(item)
+                supply_node.setdefault(item, node)
+            for item in ambiguous:
+                supply_node.pop(item, None)
+            sends = {(tr.src, tr.item) for slot in schedule.slots
+                     for tr in slot.transfers if tr.units > 0}
+            carried: Dict[Tuple[NodeId, Item], int] = {}
+            for (node, item), count in buffered.items():
+                key = (node, item)
+                if key in sends or schedule.deliveries.get(item) == node:
+                    carried[key] = carried.get(key, 0) + count
+                    continue
+                home = supply_node.get(item)
+                if (home is not None and home != node
+                        and (home, item) in sends
+                        and home not in self.dead_nodes):
+                    hk = (home, item)
+                    carried[hk] = carried.get(hk, 0) + count
+                else:
+                    for _ in range(count):
+                        self.abandoned.append(
+                            f"{item!r} stranded at {node!r}")
+            self._install(schedule, supplies,
+                          carry_state={"avail": carried,
+                                       "supply_seq": seqs})
+        self.switches.append({"time": self.time, "mode": mode})
+        return mode
+
+    # -- results ---------------------------------------------------------
+
+    def result(self) -> SimulationResult:
+        """Materialize exact delivery times from the per-period pattern
+        log and wrap them in the reference result type.
+
+        Millions of ``period_start + offset`` Fraction additions dominate
+        long replays, so for integral period starts the sum is assembled
+        directly: offsets are normalized (``gcd(num, den) == 1``), hence
+        ``(start * den + num) / den`` is already in lowest terms and the
+        general-purpose normalizing constructor can be skipped."""
+        delivery_times: Dict[Item, List[object]] = {
+            it: [] for it in self._delivery_items}
+        num_den: Dict[int, List[Tuple[Item, int, int, int]]] = {}
+        for start, pid in zip(self._period_starts, self._period_pattern):
+            s_int = start if type(start) is int else (
+                start.numerator if isinstance(start, Fraction)
+                and start.denominator == 1 else None)
+            if _FAST_FRACTION and s_int is not None:
+                evs = num_den.get(pid)
+                if evs is None:
+                    evs = num_den[pid] = [
+                        (it, Fraction(off).numerator,
+                         Fraction(off).denominator, n)
+                        for it, off, n in self._patterns[pid].events]
+                for item, num, den, count in evs:
+                    t = _raw_fraction(s_int * den + num, den)
+                    times = delivery_times[item]
+                    if count == 1:
+                        times.append(t)
+                    else:
+                        times.extend([t] * count)
+            else:
+                for item, off, count in self._patterns[pid].events:
+                    t = start + off
+                    times = delivery_times[item]
+                    for _ in range(count):
+                        times.append(t)
+        return SimulationResult(schedule=self.schedule,
+                                periods=self.periods_run,
+                                horizon=self.time,
+                                delivery_times=delivery_times,
+                                trace=None, errors=[],
+                                one_port_violations=[],
+                                switches=list(self.switches),
+                                abandoned=list(self.abandoned),
+                                engine="compiled")

@@ -89,6 +89,8 @@ class SimulationResult:
     one_port_violations: List[str] = field(default_factory=list)
     switches: List[Dict[str, object]] = field(default_factory=list)
     abandoned: List[str] = field(default_factory=list)
+    #: Which executor produced this result ("reference" or "compiled").
+    engine: str = "reference"
 
     @property
     def correct(self) -> bool:
@@ -119,10 +121,63 @@ class SimulationResult:
             return sum(counts.values())
         return min(counts.values())  # scatter/gossip: all items per op
 
-    def measured_throughput(self) -> float:
+    def measured_throughput(self):
+        """Completed operations per time-unit over the whole horizon.
+
+        Exact (a :class:`~fractions.Fraction`) whenever the schedule's
+        times are exact, so steady-state assertions can compare ``==``
+        against rational LP optima instead of round-tripping through
+        float.  Float-timed schedules still yield a float.
+        """
         if not self.horizon:
-            return 0.0
-        return self.completed_ops() / float(self.horizon)
+            return Fraction(0)
+        ops = self.completed_ops()
+        if isinstance(self.horizon, float):
+            return ops / self.horizon
+        return Fraction(ops) / Fraction(self.horizon)
+
+    def steady_window_throughput(self, periods: int = 8):
+        """Exact sustained rate over the trailing ``periods`` periods.
+
+        Counts deliveries with ``start < t <= end`` (a landing exactly on
+        a period boundary belongs to the window that ends there), applies
+        the schedule's ``delivery_mode``, and divides by the window length
+        — all in Fractions for exact-timed schedules.
+        """
+        if periods <= 0 or self.periods == 0:
+            raise ValueError("need a positive window and a non-empty run")
+        T = self.schedule.period
+        end = self.horizon
+        start = end - periods * T
+        counts = {item: sum(1 for t in self.delivery_times.get(item, ())
+                            if start < t <= end)
+                  for item in self.schedule.deliveries}
+        if not counts:
+            return Fraction(0)
+        mode = self.schedule.delivery_mode
+        if mode is None:
+            mode = "sum" if self.schedule.compute else "min"
+        ops = sum(counts.values()) if mode == "sum" else min(counts.values())
+        if isinstance(T, float):
+            return ops / (periods * T)
+        return Fraction(ops) / (Fraction(periods) * Fraction(T))
+
+
+def carry_compatible(old: PeriodicSchedule, new: PeriodicSchedule) -> bool:
+    """Whether buffered state may be carried across ``old -> new``.
+
+    Both executors use the same rule at a schedule switch: carry only
+    between pure-communication schedules (no compute, no chain links, no
+    replica fan-out) whose shared delivery items keep their destination —
+    else carried seq bookkeeping would count deliveries at the wrong node.
+    """
+    for s in (old, new):
+        if s.compute or s.chain_links or s.replicas:
+            return False
+    for item, node in new.deliveries.items():
+        if item in old.deliveries and old.deliveries[item] != node:
+            return False
+    return True
 
 
 class ScheduleExecutor:
@@ -190,14 +245,7 @@ class ScheduleExecutor:
         self.links = tuple(schedule.chain_links or ())
         self.credit: List[List[object]] = [[] for _ in self.links]
         self.stream_next: List[Dict[Hashable, int]] = [{} for _ in self.links]
-        self.produced_link: Dict[Item, int] = {}
-        self.consumed_link: Dict[Tuple[NodeId, Item],
-                                 Tuple[int, Hashable]] = {}
-        for li, ln in enumerate(self.links):
-            for it in ln.produced:
-                self.produced_link[it] = li
-            for it, stream in ln.consumed:
-                self.consumed_link[(ln.consumer, it)] = (li, stream)
+        self.produced_link, self.consumed_link = schedule.chain_maps()
         # Reduce dataflows are per-tree FIFO chains, so arrivals must be in
         # seq order; scatter/gossip commodities may split across routes with
         # different latencies, which legally reorders distinct messages.
@@ -482,16 +530,7 @@ class ScheduleExecutor:
     # -- schedule switch -------------------------------------------------
 
     def _carry_compatible(self, new: PeriodicSchedule) -> bool:
-        old = self.schedule
-        for s in (old, new):
-            if s.compute or s.chain_links or s.replicas:
-                return False
-        # shared delivery items must keep their destination, else carried
-        # seq bookkeeping would count deliveries at the wrong node
-        for item, node in new.deliveries.items():
-            if item in old.deliveries and old.deliveries[item] != node:
-                return False
-        return True
+        return carry_compatible(self.schedule, new)
 
     def _relocate_stranded(self) -> None:
         """Carry-mode hand-off: any buffered instance at a node the new
@@ -611,7 +650,8 @@ def simulate_schedule(schedule: PeriodicSchedule,
                       n_periods: int,
                       combine: Optional[Callable[[object, object], object]] = None,
                       expected: Optional[Callable[[Item, int], object]] = None,
-                      record_trace: bool = True) -> SimulationResult:
+                      record_trace: bool = True,
+                      engine: str = "auto") -> SimulationResult:
     """Replay ``schedule`` for ``n_periods`` (fault-free).
 
     Parameters
@@ -625,7 +665,23 @@ def simulate_schedule(schedule: PeriodicSchedule,
     expected:
         ``(delivery item, seq) -> expected value``; mismatches are recorded
         in ``errors``.
+    engine:
+        ``"reference"`` (this module's per-instance executor),
+        ``"compiled"`` (:mod:`repro.sim.compiled`'s vectorized replay), or
+        ``"auto"`` — compiled whenever the schedule qualifies (pure
+        communication, exact rational times, no trace requested), else
+        reference.  See :func:`repro.sim.engine.resolve_sim_engine`.
     """
+    from repro.sim.engine import resolve_sim_engine
+
+    resolved = resolve_sim_engine(engine, schedule, combine=combine,
+                                  record_trace=record_trace)
+    if resolved == "compiled":
+        from repro.sim.compiled import VectorizedExecutor
+
+        vex = VectorizedExecutor(schedule, supplies)
+        vex.run_periods(n_periods)
+        return vex.result()
     ex = ScheduleExecutor(schedule, supplies, combine=combine,
                           expected=expected, record_trace=record_trace)
     for _ in range(n_periods):
@@ -639,14 +695,18 @@ def simulate_schedule(schedule: PeriodicSchedule,
 
 def simulate_collective(schedule: PeriodicSchedule, problem, n_periods: int,
                         collective: Optional[str] = None, op=None,
-                        record_trace: bool = True) -> SimulationResult:
+                        record_trace: bool = True,
+                        engine: str = "auto") -> SimulationResult:
     """Replay any registered collective's schedule.
 
     The spec (resolved from the problem type, or named explicitly via
     ``collective``) supplies the item semantics: where stamped instances
     enter the platform, what each delivery must contain, and the combine
     operator for compute tasks.  ``op`` overrides the reduction operator
-    for computing collectives (default :class:`SeqConcat`).
+    for computing collectives (default :class:`SeqConcat`).  ``engine``
+    picks the replay implementation (``"auto"``/``"compiled"``/
+    ``"reference"``) — value-checked semantics (a combine operator) always
+    run on the reference executor.
     """
     from repro.collectives import resolve_collective
 
@@ -654,7 +714,7 @@ def simulate_collective(schedule: PeriodicSchedule, problem, n_periods: int,
     sem = spec.simulation(schedule, problem, op=op)
     return simulate_schedule(schedule, sem.supplies, n_periods,
                              combine=sem.combine, expected=sem.expected,
-                             record_trace=record_trace)
+                             record_trace=record_trace, engine=engine)
 
 
 def chain_semantics(stage_semantics):

@@ -125,7 +125,7 @@ def _fire(ex: ScheduleExecutor, event: Event) -> bool:
 def run_with_faults(solution, plan: FaultPlan, n_periods: int, op=None,
                     replan: bool = True, on_infeasible: str = "degrade",
                     backend: str = "exact", record_trace: bool = True,
-                    **replan_kwargs) -> FaultedRun:
+                    engine: str = "auto", **replan_kwargs) -> FaultedRun:
     """Replay ``solution``'s schedule for ``n_periods`` under ``plan``.
 
     Faults fire at period starts.  With ``replan=True`` (default) the
@@ -136,16 +136,33 @@ def run_with_faults(solution, plan: FaultPlan, n_periods: int, op=None,
     switched in at the next period boundary.  With ``replan=False`` the
     broken schedule just keeps running (useful to observe degradation).
 
+    ``engine`` selects the replay implementation like
+    :func:`~repro.sim.executor.simulate_schedule` does; the compiled
+    engine recompiles its tables at every fault and schedule switch, so
+    the whole faulted loop stays on the fast path for pure-communication
+    collectives.  Note the default ``record_trace=True`` keeps ``auto``
+    on the reference executor — pass ``record_trace=False`` to let the
+    dispatch rule pick the compiled engine.
+
     ``replan_kwargs`` go to :func:`repro.lp.resolve.replan` (e.g.
     ``compare=True`` to time the warm re-solve against a cold one).
     """
     from repro.collectives import schedule_collective
     from repro.lp.resolve import replan as lp_replan
+    from repro.sim.engine import resolve_sim_engine
 
     schedule = schedule_collective(solution)
     sem = solution.spec.simulation(schedule, solution.problem, op=op)
-    ex = ScheduleExecutor(schedule, sem.supplies, combine=sem.combine,
-                          expected=sem.expected, record_trace=record_trace)
+    resolved = resolve_sim_engine(engine, schedule, combine=sem.combine,
+                                  record_trace=record_trace)
+    if resolved == "compiled":
+        from repro.sim.compiled import VectorizedExecutor
+
+        ex = VectorizedExecutor(schedule, sem.supplies)
+    else:
+        ex = ScheduleExecutor(schedule, sem.supplies, combine=sem.combine,
+                              expected=sem.expected,
+                              record_trace=record_trace)
 
     current = solution
     pending: List[Event] = []   # events not yet folded into a replan

@@ -139,6 +139,54 @@ def test_colgen_is_bit_identical(plat, spec):
     assert colgen.verify() == []
 
 
+@pytest.mark.parametrize(
+    "plat,spec", CASES,
+    ids=[f"{p.name}-{s.name}" for p, s in CASES])
+def test_compiled_engine_is_bit_identical(plat, spec):
+    """PR 9: the compiled (vectorized) simulation engine must replay every
+    conformance schedule with *bit-identical* observables to the reference
+    executor — delivery times, per-item delivery counts, completed ops and
+    measured throughput — and the ``auto`` dispatch rule must route pure
+    communication to the compiled engine and value-checked semantics
+    (a combine operator) to the reference executor."""
+    from repro.collectives import schedule_collective
+    from repro.sim.engine import resolve_sim_engine
+    from repro.sim.executor import simulate_collective
+
+    if not spec.has_schedule:
+        pytest.skip(f"{spec.name} builds no schedule")
+    hosts = plat.compute_nodes()
+    case_id = zlib.crc32(f"{plat.name}-{spec.name}".encode())
+    rng = random.Random(SEED ^ case_id)
+    problem = spec.conformance_problem(plat, hosts, rng)
+    if problem is None:
+        pytest.skip(f"{spec.name} declines {plat.name}")
+
+    sol = solve_collective(problem, collective=spec.name, backend="exact")
+    sched = schedule_collective(sol)
+    sem = spec.simulation(sched, problem)
+    resolved = resolve_sim_engine("auto", sched, combine=sem.combine,
+                                  record_trace=False)
+    assert resolved == ("reference" if sem.value_checked else "compiled")
+
+    ref = simulate_collective(sched, problem, n_periods=6,
+                              collective=spec.name, record_trace=False,
+                              engine="reference")
+    fast = simulate_collective(sched, problem, n_periods=6,
+                               collective=spec.name, record_trace=False,
+                               engine="auto")
+    assert ref.engine == "reference"
+    assert fast.engine == resolved
+    assert fast.delivery_times == ref.delivery_times
+    assert {i: len(t) for i, t in fast.delivery_times.items()} \
+        == {i: len(t) for i, t in ref.delivery_times.items()}
+    assert fast.completed_ops() == ref.completed_ops()
+    assert fast.measured_throughput() == ref.measured_throughput()
+    assert fast.steady_window_throughput(periods=3) \
+        == ref.steady_window_throughput(periods=3)
+    assert fast.periods == ref.periods and fast.horizon == ref.horizon
+
+
 def test_every_registered_collective_participates():
     """The matrix really covers the whole registry (the historical seven
     plus any future registration implementing ``conformance_problem``)."""

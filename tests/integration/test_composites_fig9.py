@@ -15,13 +15,12 @@ from repro.core.reduce_scatter import ReduceScatterProblem
 from repro.platform.examples import figure9_participants, figure9_platform
 from repro.sim.executor import simulate_collective
 
-#: Figure 9 hosts for the sequential all-reduce tier: the reduce-scatter
-#: stage LP grows as n * SSR(G), so the composed tier uses the first four
-#: logical ranks (nodes 11, 8, 13, 9) to keep the schedule + simulation
-#: round-trip fast; broadcast and all-gather run over all eight hosts,
-#: and since PR 8 the *pipelined* all-reduce tier below runs all eight
-#: too (column generation brought its 17k-var chained LP to seconds).
-ALLREDUCE_HOSTS = figure9_participants()[:4]
+#: Figure 9 hosts for the sequential all-reduce tier: all eight logical
+#: ranks since PR 9 — the tier was pinned at four hosts to keep the
+#: schedule + simulation round-trip fast, but column generation (PR 8)
+#: put the stage LPs at seconds and the compiled simulation engine
+#: (PR 9) made the replay side cheap, so the full fleet runs routinely.
+ALLREDUCE_HOSTS = figure9_participants()
 
 
 def _roundtrip(problem, name, expected_tp=None, n_periods=8):

@@ -27,10 +27,17 @@ now routes them to the Dantzig-Wolfe colgen loop — must stay within 2×
 of their recorded timings, and the committed colgen records must beat
 their revised-engine "before" timings at all (the cross-baseline bar).
 
+Also guards the PR 9 compiled-simulation tiers against the committed
+``BENCH_PR9.json``: the 1025-node clustered replay (the ≥10× acceptance
+tier) and the fat-tree k=6 million-slot run must reproduce their
+recorded ops within 2× of the recorded compiled time, and every
+engine-pair record must hold the ≥10× bar with bit-identity asserted.
+
 Regenerate the baselines with ``PYTHONPATH=src python
 benchmarks/perf_report.py`` (``--replan`` for BENCH_PR6.json,
-``--revised`` for BENCH_PR7.json, ``--colgen`` for BENCH_PR8.json) after
-an intentional perf change — or on a new machine.
+``--revised`` for BENCH_PR7.json, ``--colgen`` for BENCH_PR8.json,
+``--sim`` for BENCH_PR9.json) after an intentional perf change — or on
+a new machine.
 """
 
 import json
@@ -279,6 +286,92 @@ def test_committed_colgen_baseline_beats_the_revised_engine():
             f"committed BENCH_PR8.json no longer beats the revised engine "
             f"on {name} — regenerate both baselines on one machine or "
             f"investigate")
+
+
+SIM_BASELINE_PATH = REPO_ROOT / "BENCH_PR9.json"
+
+
+@pytest.mark.perf_smoke
+def test_sim_cluster1025_tier_within_2x_and_10x_recorded():
+    """PR 9 acceptance tier: the committed record must show the compiled
+    engine ≥10× over the reference executor on the 1025-node clustered
+    distribution with bit-identity asserted, and a live rebuild + replay
+    must stay within 2× of the recorded compiled time with the recorded
+    ops and exact throughput reproduced."""
+    if not SIM_BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR9.json baseline; run "
+                    "benchmarks/perf_report.py --sim")
+    base = json.loads(SIM_BASELINE_PATH.read_text())["sim_cases"][
+        "cluster1025_scatter"]
+    assert base["speedup_x"] >= 10.0, (
+        "committed BENCH_PR9.json no longer records the >=10x acceptance "
+        "bar on the 1000-node tier — regenerate or investigate")
+    assert base["bit_identical"] and base["nodes"] >= 1000
+
+    from repro.sim.compiled import VectorizedExecutor
+
+    sched, supplies, _build_s = perf_report._sim_cluster1025()
+    t0 = time.perf_counter()
+    ex = VectorizedExecutor(sched, supplies)
+    for _ in range(base["periods"]):
+        ex.run_period()
+    res = ex.result()
+    elapsed = time.perf_counter() - t0
+
+    assert res.completed_ops() == base["completed_ops"]
+    assert str(res.measured_throughput()) == base["throughput"]
+    budget = (2.0 * base["compiled_s"] + NOISE_CUSHION_S) * _budget_factor()
+    assert elapsed <= budget, (
+        f"cluster1025 compiled replay regressed: {elapsed:.3f}s vs baseline "
+        f"{base['compiled_s']:.3f}s (budget {budget:.3f}s) — if intentional, "
+        f"regenerate BENCH_PR9.json via benchmarks/perf_report.py --sim")
+
+
+@pytest.mark.perf_smoke
+def test_sim_million_slot_tier_within_2x_of_baseline():
+    """PR 9 scale rung: the fat-tree k=6 million-slot replay must stay a
+    million-slot run (≥1e6 slot-transfer executions) inside 2× of its
+    recorded compiled time, ops reproduced exactly."""
+    if not SIM_BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR9.json baseline; run "
+                    "benchmarks/perf_report.py --sim")
+    base = json.loads(SIM_BASELINE_PATH.read_text())["sim_cases"][
+        "fattree6_scatter_million_slot"]
+    assert base["slot_events"] >= 1_000_000 and base["speedup_x"] >= 10.0
+
+    from repro.sim.compiled import VectorizedExecutor
+
+    sched, supplies = perf_report._sim_solved_schedule("fattree6")
+    t0 = time.perf_counter()
+    ex = VectorizedExecutor(sched, supplies)
+    for _ in range(base["periods"]):
+        ex.run_period()
+    res = ex.result()
+    elapsed = time.perf_counter() - t0
+
+    assert res.completed_ops() == base["completed_ops"]
+    budget = (2.0 * base["compiled_s"] + NOISE_CUSHION_S) * _budget_factor()
+    assert elapsed <= budget, (
+        f"fattree6 million-slot replay regressed: {elapsed:.3f}s vs "
+        f"baseline {base['compiled_s']:.3f}s (budget {budget:.3f}s) — if "
+        f"intentional, regenerate BENCH_PR9.json via perf_report.py --sim")
+
+
+@pytest.mark.perf_smoke
+def test_committed_sim_baseline_holds_the_10x_bar_everywhere():
+    """Every engine-pair tier in the committed PR 9 record must hold the
+    ≥10× per-period bar with bit-identity asserted at record time."""
+    if not SIM_BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR9.json baseline; run "
+                    "benchmarks/perf_report.py --sim")
+    cases = json.loads(SIM_BASELINE_PATH.read_text())["sim_cases"]
+    for name, c in cases.items():
+        if "speedup_x" not in c:
+            continue  # reference-only tiers (value-checked semantics)
+        assert c["bit_identical"], f"{name}: record lacks bit-identity"
+        assert c["speedup_x"] >= 10.0, (
+            f"committed BENCH_PR9.json tier {name} fell under 10x — "
+            f"regenerate on one machine or investigate")
 
 
 @pytest.mark.perf_smoke
