@@ -55,6 +55,7 @@ REPLAN_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 REVISED_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
 COLGEN_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
 SIM_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+TUNE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
 
 #: End-to-end auto-dispatch timings of the colgen tiers *before* colgen
 #: existed (the revised engine took them), measured on the machine that
@@ -706,6 +707,62 @@ def write_sim_report(path: Path = SIM_PATH) -> Dict[str, object]:
     return report
 
 
+# ----------------------------------------------------------------------
+# PR 10: optimality-gap auto-tuner over the topology zoo
+# ----------------------------------------------------------------------
+def run_tune() -> Dict[str, object]:
+    """Run the standing tuner zoo and record every gap row exactly.
+
+    Rationals are stored as strings (``"31/7"``) so the committed record
+    is bit-exact; the perf guards re-derive the Fractions.
+    """
+    from repro.tune import tune_zoo
+
+    t0 = time.perf_counter()
+    report = tune_zoo()
+    zoo_s = time.perf_counter() - t0
+    rows: Dict[str, object] = {}
+    for r in report.rows:
+        rows[f"{r.topology}:{r.collective}:{r.baseline}"] = {
+            "topology": r.topology,
+            "collective": r.collective,
+            "baseline": r.baseline,
+            "algorithm": r.algorithm,
+            "rounds": r.n_rounds,
+            "baseline_tp": str(r.baseline_tp),
+            "lp_tp": str(r.lp_tp),
+            "gap": str(r.gap),
+            "gap_x": round(float(r.gap), 4),
+            "sim_matches": r.sim_matches,
+            "engine": r.engine,
+        }
+    assert report.lp_dominates, "LP beaten by a classical baseline"
+    assert report.sim_exact, "simulated rate != analytic rate"
+    return {
+        "meta": {
+            "pr": 10,
+            "description": "optimality-gap auto-tuner: exact LP optimum vs "
+                           "classical baseline specs (ring/halving "
+                           "reduce-scatter, ring/doubling all-gather, "
+                           "ring/Rabenseifner all-reduce, direct scatter) "
+                           "over the topology zoo; every baseline replayed "
+                           "on the sim engine with bit-exact rate match",
+            "python": _platform.python_version(),
+            "machine": _platform.machine(),
+        },
+        "zoo_s": round(zoo_s, 4),
+        "instance_seconds": {k: round(v, 5)
+                             for k, v in report.instance_seconds.items()},
+        "gap_rows": rows,
+    }
+
+
+def write_tune_report(path: Path = TUNE_PATH) -> Dict[str, object]:
+    report = run_tune()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def _x20_edge():
     from repro.platform.generators import heterogenize, random_connected
 
@@ -928,7 +985,19 @@ def main() -> None:
     ap.add_argument("--sim", action="store_true",
                     help="benchmark the PR 9 compiled-simulation tiers "
                          "and write BENCH_PR9.json")
+    ap.add_argument("--tune", action="store_true",
+                    help="run the PR 10 optimality-gap tuner zoo and write "
+                         "BENCH_PR10.json")
     args = ap.parse_args()
+    if args.tune:
+        report = write_tune_report()
+        for name, r in report["gap_rows"].items():
+            mark = "exact" if r["sim_matches"] else "MISMATCH"
+            print(f"{name:>48}: TP {r['baseline_tp']:>6} vs LP "
+                  f"{r['lp_tp']:>6}  gap {r['gap']:>6} ({r['gap_x']}x)  "
+                  f"sim {mark} [{r['engine']}]")
+        print(f"zoo in {report['zoo_s']}s; wrote {TUNE_PATH}")
+        return
     if args.sim:
         report = write_sim_report()
         for name, c in report["sim_cases"].items():

@@ -65,11 +65,30 @@ def direct_scatter(problem: ScatterProblem, n_ops: int,
             arrivals.append(net.route_transfer(routes[k], 1, 0))
         completions.append(max(arrivals))
     violations = validate_one_port(net.trace) if net.trace is not None else []
+    # the analytic twin of this run (same fixed routes, pipelined) must
+    # pass the registered spec's shared verify()/edge_occupation() path;
+    # any accounting mismatch it reports fails the run
+    violations += direct_scatter_solution(problem).verify()
     return BaselineRun(name="direct-scatter", n_ops=n_ops,
                        completion_times=completions,
                        makespan=completions[-1] if completions else 0,
                        throughput=steady_throughput(completions),
                        one_port_violations=violations)
+
+
+def direct_scatter_solution(problem: ScatterProblem):
+    """The :func:`direct_scatter` strategy as a shared-pipeline solution.
+
+    Solves the registered ``"direct-scatter"`` baseline spec
+    (:mod:`repro.baselines.algorithms`): same fixed canonical
+    shortest-path routes, pipelined at the analytic rate ``1 / max port
+    load``, but expressed as a ``CollectiveSolution`` — so it verifies,
+    schedules and simulates through the exact machinery the LP solutions
+    use.
+    """
+    from repro.collectives import solve_collective
+
+    return solve_collective(problem, collective="direct-scatter")
 
 
 def spt_scatter_throughput(problem: ScatterProblem,

@@ -235,6 +235,65 @@ def _cmd_collectives(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    """Optimality-gap auto-tuner: LP optimum vs every applicable classical
+    baseline, simulated bit-exactly (see :mod:`repro.tune`)."""
+    from repro.tune import tune, tune_zoo
+    from repro.viz.tables import gap_table
+
+    if args.platform is None:
+        report = tune_zoo(backend=args.backend, engine=args.sim_engine)
+        rows = report.rows
+    else:
+        if args.collective is None:
+            raise SystemExit("--collective is required with --platform")
+        g = load_platform(args.platform)
+        problem = _tune_problem(g, args)
+        rows = tune(problem, backend=args.backend, mode=args.mode,
+                    engine=args.sim_engine)
+    print(gap_table(rows))
+    dominated = [r for r in rows if r.gap < 1]
+    mismatched = [r for r in rows if not r.sim_matches]
+    worst = max(rows, key=lambda r: r.gap) if rows else None
+    if worst is not None:
+        print(f"{len(rows)} baseline runs; largest gap "
+              f"{worst.gap} ({float(worst.gap):.2f}x) — "
+              f"{worst.baseline} on {worst.topology}")
+    if dominated or mismatched:
+        for r in dominated:
+            print(f"ERROR: LP beaten by {r.baseline} on {r.topology} "
+                  f"({r.lp_tp} < {r.baseline_tp})")
+        for r in mismatched:
+            print(f"ERROR: sim rate {r.sim_tp} != analytic "
+                  f"{r.baseline_tp} for {r.baseline} on {r.topology}")
+        return 1
+    return 0
+
+
+def _tune_problem(g, args):
+    """Build the LP-side problem for a single-instance ``repro tune``."""
+    from repro.core.allgather import AllGatherProblem
+    from repro.core.allreduce import AllReduceProblem
+    from repro.core.reduce_scatter import ReduceScatterProblem
+    from repro.core.scatter import ScatterProblem
+
+    if args.collective == "scatter":
+        if args.source is None or args.targets is None:
+            raise SystemExit("scatter tuning needs --source and --targets")
+        return ScatterProblem(g, parse_node(args.source),
+                              parse_nodes(args.targets))
+    if args.participants is None:
+        raise SystemExit(f"{args.collective} tuning needs --participants")
+    participants = parse_nodes(args.participants)
+    if args.collective == "reduce-scatter":
+        return ReduceScatterProblem(g, participants, msg_size=args.msg_size,
+                                    task_work=args.task_work)
+    if args.collective == "all-gather":
+        return AllGatherProblem(g, participants, msg_size=args.msg_size)
+    return AllReduceProblem(g, participants, msg_size=args.msg_size,
+                            task_work=args.task_work)
+
+
 # ----------------------------------------------------------------------
 # paper-figure demos
 # ----------------------------------------------------------------------
@@ -409,6 +468,33 @@ def build_parser() -> argparse.ArgumentParser:
     dm = sub.add_parser("demo", help="run a paper-figure demo")
     dm.add_argument("which", choices=DEMOS)
     dm.set_defaults(func=_cmd_demo)
+
+    tu = sub.add_parser(
+        "tune",
+        help="optimality-gap auto-tuner: exact LP optimum vs every "
+             "applicable classical baseline, replayed on the sim engine "
+             "(no arguments: run the standing topology zoo)")
+    tu.add_argument("--platform", default=None,
+                    help="platform JSON file (omit to run the zoo)")
+    tu.add_argument("--collective", default=None,
+                    choices=["scatter", "reduce-scatter", "all-gather",
+                             "all-reduce"],
+                    help="LP collective of the instance (with --platform)")
+    tu.add_argument("--source", default=None)
+    tu.add_argument("--targets", default=None,
+                    help="comma-separated node ids (scatter)")
+    tu.add_argument("--participants", default=None,
+                    help="comma-separated node ids (rank order)")
+    tu.add_argument("--msg-size", dest="msg_size", type=int, default=1)
+    tu.add_argument("--task-work", dest="task_work", type=int, default=1)
+    tu.add_argument("--mode", default=None,
+                    choices=["sequential", "pipelined"],
+                    help="composition mode of the all-reduce LP optimum")
+    tu.add_argument("--backend", default="exact",
+                    help="LP backend for the optimum (default exact)")
+    tu.add_argument("--sim-engine", dest="sim_engine", default="auto",
+                    choices=["auto", "compiled", "reference"])
+    tu.set_defaults(func=_cmd_tune)
 
     pe = sub.add_parser("perturb",
                         help="apply perturbation events to a platform and "

@@ -41,6 +41,7 @@ def _load_builtins() -> None:
     import repro.collectives.broadcast  # noqa: F401
     import repro.collectives.allgather  # noqa: F401
     import repro.collectives.allreduce  # noqa: F401
+    import repro.baselines.algorithms  # noqa: F401  (classical baselines)
     # set only after every import succeeded: a failed spec import must
     # resurface on the next registry access, not leave a partial registry
     _builtins_loaded = True

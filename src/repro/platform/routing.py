@@ -23,6 +23,11 @@ def dijkstra(g: PlatformGraph, source: NodeId) -> Tuple[Dict[NodeId, object], Di
 
     Costs may be ints, Fractions or floats; they only need to support ``+``
     and ``<`` (which all three do, including mixed int/Fraction).
+
+    Equal-cost ties are broken canonically: among all shortest-path
+    predecessors of ``v``, the one with the smallest ``str()`` wins, so
+    the returned tree (and every route the baselines fix from it) is a
+    pure function of the platform — independent of edge insertion order.
     """
     if source not in g:
         raise KeyError(f"unknown source {source!r}")
@@ -37,13 +42,19 @@ def dijkstra(g: PlatformGraph, source: NodeId) -> Tuple[Dict[NodeId, object], Di
         if u in done:
             continue
         done.add(u)
-        for e in g.out_edges(u):
+        for e in sorted(g.out_edges(u), key=lambda e: str(e.dst)):
             nd = d + e.cost
             if e.dst not in dist or nd < dist[e.dst]:
                 dist[e.dst] = nd
                 parent[e.dst] = u
                 counter += 1
                 heapq.heappush(heap, (nd, counter, e.dst))
+            elif nd == dist[e.dst] and parent[e.dst] is not None \
+                    and str(u) < str(parent[e.dst]):
+                # same distance, canonically smaller predecessor: keep the
+                # distance (no re-push needed) but repoint the parent, so
+                # the tie never falls back to relaxation order
+                parent[e.dst] = u
     return dist, parent
 
 

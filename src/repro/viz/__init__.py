@@ -1,7 +1,8 @@
 """Text-based reporting: ASCII Gantt charts, tables, DOT export."""
 
 from repro.viz.gantt import ascii_gantt
-from repro.viz.tables import format_table, rates_table
+from repro.viz.tables import format_table, gap_table, rates_table
 from repro.viz.dot import platform_to_dot
 
-__all__ = ["ascii_gantt", "format_table", "rates_table", "platform_to_dot"]
+__all__ = ["ascii_gantt", "format_table", "gap_table", "rates_table",
+           "platform_to_dot"]

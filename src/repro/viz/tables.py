@@ -93,3 +93,24 @@ def composition_table(solution, title: str = "composition") -> str:
         rows.append((f"s{k}", s.collective, mode, s.throughput, share))
     return format_table(["stage", "collective", "mode", "TP", "share"], rows,
                         title=title)
+
+
+def gap_table(rows, title: str = "optimality gaps: steady-state LP vs classical baselines") -> str:
+    """Exact-rational optimality-gap table of :func:`repro.tune.tune` rows.
+
+    One row per (instance, baseline): the classical algorithm's analytic
+    pipelined rate, the LP optimum, their exact ratio (``>= 1`` — every
+    baseline plan is LP-feasible), and whether the simulated replay
+    reproduced the analytic rate bit-exactly.
+    """
+    table = []
+    for r in rows:
+        gap = f"{r.gap} ({float(r.gap):.2f}x)"
+        sim = f"exact ({r.engine})" if r.sim_matches \
+            else f"MISMATCH {r.sim_tp} ({r.engine})"
+        table.append((r.topology, r.collective, r.baseline, r.n_rounds,
+                      r.baseline_tp, r.lp_tp, gap, sim))
+    return format_table(
+        ["topology", "collective", "baseline", "rounds", "TP(baseline)",
+         "TP(LP)", "gap", "sim"],
+        table, title=title)

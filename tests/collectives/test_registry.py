@@ -22,7 +22,12 @@ class TestBuiltins:
         names = [s.name for s in available_collectives()]
         assert names == ["scatter", "reduce", "gossip", "prefix",
                          "reduce-scatter", "broadcast", "all-gather",
-                         "all-reduce"]
+                         "all-reduce",
+                         # classical baselines (PR 10) — name-only specs
+                         "direct-scatter", "ring-reduce-scatter",
+                         "halving-reduce-scatter", "ring-all-gather",
+                         "doubling-all-gather", "ring-all-reduce",
+                         "rabenseifner-all-reduce"]
 
     def test_get_by_name(self):
         assert get_collective("scatter").problem_type is ScatterProblem

@@ -75,10 +75,16 @@ def test_degraded_exact_and_highs_agree_and_verify(plat, spec):
     assert exact.verify() == []
     for occ in exact.edge_occupation().values():
         assert 0 <= occ <= 1
-    # failure traces only tighten capacity: TP cannot improve — and a
-    # cache collision with the pristine platform would violate this
-    # whenever the trace actually binds
-    assert exact.throughput <= pristine.throughput
+    # failure traces only tighten capacity: for LP specs TP cannot
+    # improve — and a cache collision with the pristine platform would
+    # violate this whenever the trace actually binds.  Classical
+    # baseline specs re-route their fixed plans with Dijkstra on the
+    # perturbed costs, so their TP is not monotone under tightening;
+    # they get the solvability/verification checks above only.
+    from repro.baselines.algorithms import AlgorithmSpec
+
+    if not isinstance(spec, AlgorithmSpec):
+        assert exact.throughput <= pristine.throughput
 
     highs = solve_collective(degraded_problem, collective=spec.name,
                              backend="highs")

@@ -384,3 +384,68 @@ def test_committed_fig9_baseline_holds_the_2x_acceptance_bar():
     assert 2.0 * pr3["exact_solve_s"] <= pr1["exact_solve_s"], (
         "committed BENCH_PR3.json no longer 2x faster than BENCH_PR1.json "
         "on the fig9 tier — regenerate both on one machine or investigate")
+
+
+TUNE_BASELINE_PATH = REPO_ROOT / "BENCH_PR10.json"
+
+#: Exact rational (LP, baseline) optima pinned for the PR 10 tuner tiers.
+TUNE_EXPECTED = {
+    "fig2:scatter": (Fraction(1, 2), Fraction(1, 2)),
+    "fig6:reduce-scatter": (Fraction(1, 2), Fraction(1, 4)),
+}
+
+
+@pytest.mark.perf_smoke
+@pytest.mark.parametrize("instance", ["fig2:scatter", "fig6:reduce-scatter"])
+def test_tune_instance_within_2x_of_baseline(instance):
+    """PR 10 tuner rungs: re-tune one zoo instance live (exact LP solve +
+    analytic baseline + schedule + compiled replay) and hold it inside 2x
+    of its committed per-instance timing, with the recorded exact optima
+    and the bit-exact sim match pinned."""
+    from repro.tune import tune, zoo_instances
+
+    if not TUNE_BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR10.json baseline; run "
+                    "benchmarks/perf_report.py --tune")
+    baseline = json.loads(TUNE_BASELINE_PATH.read_text())
+    base_s = baseline["instance_seconds"][instance]
+
+    from repro.collectives import resolve_collective
+
+    label, collective = instance.split(":")
+    case = next((lbl, prob, mode) for lbl, prob, mode in zoo_instances()
+                if lbl == label
+                and resolve_collective(prob).name == collective)
+    t0 = time.perf_counter()
+    rows = tune(case[1], topology=case[0], mode=case[2])
+    elapsed = time.perf_counter() - t0
+
+    lp_tp, worst_base_tp = TUNE_EXPECTED[instance]
+    assert rows, f"{instance}: no applicable baselines"
+    for row in rows:
+        assert row.lp_tp == lp_tp
+        assert row.sim_matches, f"{row.baseline}: sim != analytic rate"
+        assert row.gap >= 1
+    assert min(r.baseline_tp for r in rows) == worst_base_tp
+    budget = (2.0 * base_s + NOISE_CUSHION_S) * _budget_factor()
+    assert elapsed <= budget, (
+        f"{instance} tuner tier regressed: {elapsed:.3f}s vs baseline "
+        f"{base_s:.3f}s (budget {budget:.3f}s) — if intentional, "
+        f"regenerate BENCH_PR10.json via benchmarks/perf_report.py --tune")
+
+
+@pytest.mark.perf_smoke
+def test_committed_tune_record_holds_the_dominance_bar():
+    """Every committed PR 10 gap row must show LP dominance (gap >= 1 as
+    an exact rational) and a bit-exact simulated rate, across >= 5 zoo
+    topologies — the ISSUE 10 acceptance bar, pinned on the record."""
+    if not TUNE_BASELINE_PATH.exists():
+        pytest.skip("no BENCH_PR10.json baseline; run "
+                    "benchmarks/perf_report.py --tune")
+    rows = json.loads(TUNE_BASELINE_PATH.read_text())["gap_rows"]
+    assert len({r["topology"] for r in rows.values()}) >= 5
+    for name, r in rows.items():
+        assert Fraction(r["gap"]) >= 1, f"{name}: LP beaten in the record"
+        assert Fraction(r["gap"]) == \
+            Fraction(r["lp_tp"]) / Fraction(r["baseline_tp"])
+        assert r["sim_matches"], f"{name}: record lacks bit-exact sim match"

@@ -80,6 +80,51 @@ class TestPathHelpers:
         assert t.speed("b") == 1
 
 
+class TestCanonicalTieBreaking:
+    """Equal-cost ties must resolve independently of edge insertion order
+    (PR 10 regression: the planner memoises routes per (src, dst), so an
+    order-dependent tree would make baseline plans non-deterministic)."""
+
+    @staticmethod
+    def _equal_diamond(order):
+        g = PlatformGraph("tie")
+        for n in "sabt":
+            g.add_node(n, 1)
+        for src, dst in order:
+            g.add_edge(src, dst, 1)
+        return g
+
+    ORDERS = [
+        [("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")],
+        [("s", "b"), ("s", "a"), ("b", "t"), ("a", "t")],
+    ]
+
+    def test_parent_picks_min_name_predecessor(self):
+        for order in self.ORDERS:
+            g = self._equal_diamond(order)
+            dist, parent = dijkstra(g, "s")
+            assert dist["t"] == 2
+            assert parent["t"] == "a", order
+
+    def test_path_and_tree_are_insertion_order_independent(self):
+        g1, g2 = (self._equal_diamond(o) for o in self.ORDERS)
+        assert shortest_path(g1, "s", "t") == shortest_path(g2, "s", "t") \
+            == ["s", "a", "t"]
+        t1, t2 = shortest_path_tree(g1, "s"), shortest_path_tree(g2, "s")
+        edges1 = {(e.src, e.dst) for e in t1.edges()}
+        edges2 = {(e.src, e.dst) for e in t2.edges()}
+        assert edges1 == edges2
+        assert ("a", "t") in edges1 and ("b", "t") not in edges1
+
+    def test_fig2_spt_is_pinned(self):
+        from repro.platform.examples import figure2_platform
+
+        t = shortest_path_tree(figure2_platform(), "Ps")
+        edges = {(e.src, e.dst) for e in t.edges()}
+        assert edges == {("Ps", "Pa"), ("Ps", "Pb"),
+                         ("Pa", "P0"), ("Pb", "P1")}
+
+
 class TestWidth:
     def test_graph_width_chain(self):
         g = chain(4, cost=2)

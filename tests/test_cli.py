@@ -232,3 +232,36 @@ class TestCacheCommand:
         finally:
             diskcache.set_cache_dir(None)
             clear_cache()
+
+
+class TestTuneCommand:
+    def test_single_instance_gap_table(self, plat_file, capsys):
+        rc = main(["tune", "--platform", plat_file,
+                   "--collective", "scatter",
+                   "--source", "Ps", "--targets", "P0,P1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "direct-scatter" in out
+        assert "exact" in out and "MISMATCH" not in out
+        assert "largest gap" in out
+
+    def test_reduce_scatter_instance(self, tmp_path, capsys):
+        from repro.platform.examples import figure6_platform
+        from repro.platform.io import save_platform
+
+        path = str(tmp_path / "fig6.json")
+        save_platform(figure6_platform(), path)
+        rc = main(["tune", "--platform", path,
+                   "--collective", "reduce-scatter",
+                   "--participants", "0,1,2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ring-reduce-scatter" in out
+        assert "2.00x" in out  # fig6 gap: LP 1/2 vs ring baseline 1/4
+
+    def test_zoo_smoke_runs_clean(self, capsys):
+        rc = main(["tune"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "baseline runs" in out
+        assert "MISMATCH" not in out
